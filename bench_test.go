@@ -1,0 +1,312 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results):
+//
+//	BenchmarkFig3b, BenchmarkFig3c       — Fig. 3(b,c) buffer plots
+//	BenchmarkFig4a_Q6, BenchmarkFig4b_Q8 — Fig. 4(a,b) XMark buffer plots
+//	BenchmarkFig5                        — Fig. 5 time/memory table
+//	BenchmarkAblationSignOff             — deferred vs. eager sign-offs
+//	BenchmarkAblationDiscipline          — GCX vs. projection-only vs. DOM
+//	BenchmarkSubstrateTokenizer/Projection — substrate throughput
+//
+// Custom metrics: peak_nodes (buffer high watermark, the paper's
+// y-axis), peak_KB (estimated buffered bytes).
+package gcx_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"gcx"
+	"gcx/internal/buffer"
+	"gcx/internal/core"
+	"gcx/internal/projection"
+	"gcx/internal/xmark"
+	"gcx/internal/xmltok"
+)
+
+// xmarkDocs caches generated documents per size so that generation cost
+// stays out of the timed loops.
+var xmarkDocs = map[int64]string{}
+
+func xmarkDoc(b *testing.B, size int64) string {
+	if doc, ok := xmarkDocs[size]; ok {
+		return doc
+	}
+	doc, _, err := xmark.GenerateString(xmark.Config{TargetBytes: size, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xmarkDocs[size] = doc
+	return doc
+}
+
+func runQuery(b *testing.B, q *gcx.Query, doc string, opts gcx.Options) *gcx.Result {
+	b.Helper()
+	res, err := q.Execute(strings.NewReader(doc), io.Discard, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// benchBufferPlot runs a query repeatedly and reports buffer watermarks.
+func benchBufferPlot(b *testing.B, query, doc string, opts gcx.Options) {
+	q, err := gcx.Compile(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	var res *gcx.Result
+	for i := 0; i < b.N; i++ {
+		res = runQuery(b, q, doc, opts)
+	}
+	b.ReportMetric(float64(res.PeakBufferedNodes), "peak_nodes")
+	b.ReportMetric(float64(res.PeakBufferedBytes)/1024, "peak_KB")
+}
+
+// BenchmarkFig3b — paper Figure 3(b): 9×article + 1×book; the buffer
+// oscillates and stays bounded (peak 6 nodes).
+func BenchmarkFig3b(b *testing.B) {
+	benchBufferPlot(b, xmark.PaperQuery, xmark.BibDocument(xmark.Fig3bKinds()), gcx.Options{})
+}
+
+// BenchmarkFig3c — paper Figure 3(c): 9×book + 1×article; books retain
+// book+title pairs, 23 nodes buffered at </bib>.
+func BenchmarkFig3c(b *testing.B) {
+	benchBufferPlot(b, xmark.PaperQuery, xmark.BibDocument(xmark.Fig3cKinds()), gcx.Options{})
+}
+
+// BenchmarkFig4a_Q6 — paper Figure 4(a): XMark Q6 streams items one at
+// a time; the buffer stays tiny and empties after the regions section.
+func BenchmarkFig4a_Q6(b *testing.B) {
+	benchBufferPlot(b, xmark.Queries["Q6"].Text, xmarkDoc(b, 1<<20), gcx.Options{})
+}
+
+// BenchmarkFig4b_Q8 — paper Figure 4(b): the value join buffers people
+// and closed_auctions; memory is linear in the input.
+func BenchmarkFig4b_Q8(b *testing.B) {
+	benchBufferPlot(b, xmark.Queries["Q8"].Text, xmarkDoc(b, 1<<20), gcx.Options{})
+}
+
+// BenchmarkFig5 — the paper's Figure 5 table: queries × document sizes
+// × engines, time per run plus memory watermarks. Run with
+// cmd/gcxbench for the paper's 10–200 MB sizes; the bench uses 1 MB and
+// 4 MB to stay CI-friendly.
+func BenchmarkFig5(b *testing.B) {
+	sizes := []int64{1 << 20, 4 << 20}
+	engines := []struct {
+		name string
+		opt  gcx.Engine
+	}{
+		{"gcx", gcx.EngineGCX},
+		{"projection", gcx.EngineProjectionOnly},
+		{"dom", gcx.EngineDOM},
+	}
+	for _, qid := range []string{"Q1", "Q6", "Q8", "Q13", "Q20"} {
+		entry := xmark.Queries[qid]
+		q, err := gcx.Compile(entry.Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, size := range sizes {
+			doc := xmarkDoc(b, size)
+			for _, eng := range engines {
+				name := qid + "/" + sizeName(size) + "/" + eng.name
+				b.Run(name, func(b *testing.B) {
+					b.SetBytes(int64(len(doc)))
+					var res *gcx.Result
+					for i := 0; i < b.N; i++ {
+						res = runQuery(b, q, doc, gcx.Options{Engine: eng.opt})
+					}
+					b.ReportMetric(float64(res.PeakBufferedNodes), "peak_nodes")
+					b.ReportMetric(float64(res.PeakBufferedBytes)/1024, "peak_KB")
+				})
+			}
+		}
+	}
+}
+
+func sizeName(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return itoa(n>>20) + "MB"
+	default:
+		return itoa(n>>10) + "KB"
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationSignOff — DESIGN.md A1: deferred sign-offs (the
+// paper's published timing) versus eager forced-read sign-offs. Outputs
+// are identical; eager purges slightly earlier.
+func BenchmarkAblationSignOff(b *testing.B) {
+	doc := xmarkDoc(b, 1<<20)
+	for _, mode := range []struct {
+		name string
+		m    gcx.SignOffMode
+	}{{"deferred", gcx.SignOffDeferred}, {"eager", gcx.SignOffEager}} {
+		for _, qid := range []string{"Q1", "Q8"} {
+			q, err := gcx.Compile(xmark.Queries[qid].Text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(qid+"/"+mode.name, func(b *testing.B) {
+				b.SetBytes(int64(len(doc)))
+				var res *gcx.Result
+				for i := 0; i < b.N; i++ {
+					res = runQuery(b, q, doc, gcx.Options{SignOffMode: mode.m})
+				}
+				b.ReportMetric(float64(res.PeakBufferedNodes), "peak_nodes")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationDiscipline — DESIGN.md A2: what each analysis stage
+// buys. Full buffering (dom) → static projection (projection) → static
+// + dynamic GC (gcx), on a streamable query and on the blocking join.
+func BenchmarkAblationDiscipline(b *testing.B) {
+	doc := xmarkDoc(b, 1<<20)
+	for _, qid := range []string{"Q1", "Q8"} {
+		q, err := gcx.Compile(xmark.Queries[qid].Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []struct {
+			name string
+			opt  gcx.Engine
+		}{{"dom", gcx.EngineDOM}, {"projection", gcx.EngineProjectionOnly}, {"gcx", gcx.EngineGCX}} {
+			b.Run(qid+"/"+eng.name, func(b *testing.B) {
+				b.SetBytes(int64(len(doc)))
+				var res *gcx.Result
+				for i := 0; i < b.N; i++ {
+					res = runQuery(b, q, doc, gcx.Options{Engine: eng.opt})
+				}
+				b.ReportMetric(float64(res.PeakBufferedNodes), "peak_nodes")
+				b.ReportMetric(float64(res.PeakBufferedBytes)/1024, "peak_KB")
+			})
+		}
+	}
+}
+
+// BenchmarkSubstrateTokenizer measures raw tokenizer throughput — the
+// lower bound on any streaming engine's runtime.
+func BenchmarkSubstrateTokenizer(b *testing.B) {
+	doc := xmarkDoc(b, 1<<20)
+	b.SetBytes(int64(len(doc)))
+	for i := 0; i < b.N; i++ {
+		tz := xmltok.NewTokenizer(strings.NewReader(doc))
+		for {
+			_, err := tz.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSubstrateProjection measures the preprojector over the Q8
+// role set: the cost of stream filtering plus buffering, without
+// evaluation.
+func BenchmarkSubstrateProjection(b *testing.B) {
+	doc := xmarkDoc(b, 1<<20)
+	plan, err := core.Compile(xmark.Queries["Q8"].Text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := buffer.New()
+		buf.DisableGC = true
+		p := projection.New(xmltok.NewTokenizer(strings.NewReader(doc)), buf, plan.RolePaths())
+		if err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFirstWitness — DESIGN.md A4: what the paper's
+// first-witness [1] pruning (role r4) buys on existence conditions over
+// wide subtrees. Without it, every candidate price is buffered until
+// the iteration's sign-off.
+func BenchmarkAblationFirstWitness(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("<book><title>t</title>")
+		for j := 0; j < 20; j++ {
+			sb.WriteString("<price>9</price>")
+		}
+		sb.WriteString("</book>")
+	}
+	sb.WriteString("</bib>")
+	doc := sb.String()
+	const query = `<r>{ for $x in /bib/* return
+	   if (exists $x/price) then $x/title else () }</r>`
+
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"firstWitness", false}, {"allWitnesses", true}} {
+		q, err := gcx.CompileWithOptions(query, gcx.CompileOptions{DisableFirstWitness: variant.disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(variant.name, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			var res *gcx.Result
+			for i := 0; i < b.N; i++ {
+				res = runQuery(b, q, doc, gcx.Options{})
+			}
+			b.ReportMetric(float64(res.PeakBufferedNodes), "peak_nodes")
+		})
+	}
+}
+
+// BenchmarkAblationGranularity — DESIGN.md A5: node-granular roles (the
+// paper's contribution) versus coarse subtree-granular relevance. The
+// coarse model projects whole subtrees whenever any part is used.
+func BenchmarkAblationGranularity(b *testing.B) {
+	doc := xmarkDoc(b, 1<<20)
+	for _, qid := range []string{"Q8", "Q20"} {
+		for _, variant := range []struct {
+			name   string
+			coarse bool
+		}{{"node", false}, {"subtree", true}} {
+			q, err := gcx.CompileWithOptions(xmark.Queries[qid].Text,
+				gcx.CompileOptions{CoarseGranularity: variant.coarse})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(qid+"/"+variant.name, func(b *testing.B) {
+				b.SetBytes(int64(len(doc)))
+				var res *gcx.Result
+				for i := 0; i < b.N; i++ {
+					res = runQuery(b, q, doc, gcx.Options{})
+				}
+				b.ReportMetric(float64(res.PeakBufferedNodes), "peak_nodes")
+				b.ReportMetric(float64(res.PeakBufferedBytes)/1024, "peak_KB")
+			})
+		}
+	}
+}

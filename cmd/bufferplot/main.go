@@ -1,0 +1,134 @@
+// Command bufferplot regenerates the buffer plots of the paper's
+// Figures 3 and 4: for each processed input token it emits the number
+// of buffered XML nodes, as "token<TAB>nodes" lines ready for gnuplot.
+//
+//	bufferplot -fig 3b          # 9×article + 1×book (Fig. 3(b))
+//	bufferplot -fig 3c          # 9×book + 1×article (Fig. 3(c))
+//	bufferplot -fig 4a -size 10MB   # XMark Q6 (Fig. 4(a))
+//	bufferplot -fig 4b -size 10MB   # XMark Q8 (Fig. 4(b))
+//	bufferplot -q query.xq -i doc.xml -every 100   # custom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcx"
+	"gcx/internal/plotsvg"
+	"gcx/internal/sizeparse"
+	"gcx/internal/stats"
+	"gcx/internal/xmark"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "paper figure to regenerate: 3b, 3c, 4a or 4b")
+		queryFile = flag.String("q", "", "custom query file")
+		inputFile = flag.String("i", "", "custom input document")
+		size      = flag.String("size", "10MB", "XMark document size for figures 4a/4b")
+		seed      = flag.Int64("seed", 1, "XMark generator seed")
+		every     = flag.Int64("every", 0, "sampling interval in tokens (default: 1 for fig 3, 200 for fig 4)")
+		mode      = flag.String("mode", "deferred", "sign-off mode: deferred or eager")
+		svgOut    = flag.String("svg", "", "also render the plot as an SVG image to this file")
+	)
+	flag.Parse()
+
+	var querySrc, doc string
+	switch *fig {
+	case "3b":
+		querySrc, doc = xmark.PaperQuery, xmark.BibDocument(xmark.Fig3bKinds())
+		setDefault(every, 1)
+	case "3c":
+		querySrc, doc = xmark.PaperQuery, xmark.BibDocument(xmark.Fig3cKinds())
+		setDefault(every, 1)
+	case "4a", "4b":
+		bytes, err := sizeparse.Parse(*size)
+		if err != nil {
+			fatal(err)
+		}
+		generated, _, err := xmark.GenerateString(xmark.Config{TargetBytes: bytes, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		doc = generated
+		if *fig == "4a" {
+			querySrc = xmark.Queries["Q6"].Text
+		} else {
+			querySrc = xmark.Queries["Q8"].Text
+		}
+		setDefault(every, 200)
+	case "":
+		if *queryFile == "" || *inputFile == "" {
+			fmt.Fprintln(os.Stderr, "bufferplot: need -fig, or both -q and -i")
+			os.Exit(2)
+		}
+		qdata, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		ddata, err := os.ReadFile(*inputFile)
+		if err != nil {
+			fatal(err)
+		}
+		querySrc, doc = string(qdata), string(ddata)
+		setDefault(every, 1)
+	default:
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+
+	q, err := gcx.Compile(querySrc)
+	if err != nil {
+		fatal(err)
+	}
+	opts := gcx.Options{RecordEvery: *every}
+	if *mode == "eager" {
+		opts.SignOffMode = gcx.SignOffEager
+	}
+	_, res, err := q.ExecuteString(doc, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range res.Series {
+		fmt.Printf("%d\t%d\n", p.Token, p.Nodes)
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fatal(err)
+		}
+		points := make([]stats.Point, len(res.Series))
+		for i, p := range res.Series {
+			points[i] = stats.Point{Token: p.Token, Nodes: p.Nodes, Bytes: p.Bytes}
+		}
+		title := "GCX buffer plot"
+		if *fig != "" {
+			title = "Figure " + *fig
+		}
+		err = plotsvg.Render(f, plotsvg.Config{
+			Title:  title,
+			XLabel: "number of tokens processed",
+			YLabel: "number of XML nodes buffered",
+		}, plotsvg.Series{Points: points})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bufferplot: %d tokens, peak %d nodes (%0.1f KB est.), final %d nodes\n",
+		res.TokensProcessed, res.PeakBufferedNodes,
+		float64(res.PeakBufferedBytes)/1024, res.FinalBufferedNodes)
+}
+
+func setDefault(p *int64, v int64) {
+	if *p == 0 {
+		*p = v
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bufferplot:", err)
+	os.Exit(1)
+}

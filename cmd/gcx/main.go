@@ -1,0 +1,120 @@
+// Command gcx runs an XQuery over an XML document or stream.
+//
+// Examples:
+//
+//	gcx -q '<out>{ for $b in /bib/book return $b/title }</out>' -i bib.xml
+//	gcx -f query.xq -i big.xml -o result.xml -stats
+//	gcx -f query.xq -explain            # roles + rewritten query
+//	gcx -f join.xq -i doc.xml -engine dom   # full-buffering baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gcx"
+)
+
+func main() {
+	var (
+		queryText  = flag.String("q", "", "query text")
+		queryFile  = flag.String("f", "", "file containing the query")
+		inputFile  = flag.String("i", "", "input XML document (default stdin)")
+		outputFile = flag.String("o", "", "output file (default stdout)")
+		engineName = flag.String("engine", "gcx", "engine: gcx, projection (no GC) or dom (full buffering)")
+		mode       = flag.String("mode", "deferred", "sign-off mode: deferred or eager")
+		agg        = flag.Bool("agg", false, "enable the aggregation extension (count/sum/min/max/avg)")
+		explain    = flag.Bool("explain", false, "print roles and the rewritten query, then exit")
+		showStats  = flag.Bool("stats", false, "print run statistics to stderr")
+		plotEvery  = flag.Int64("plot", 0, "emit a buffer plot sample to stderr every N tokens")
+	)
+	flag.Parse()
+
+	src := *queryText
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "gcx: no query given (use -q or -f)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	q, err := gcx.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *explain {
+		fmt.Print(q.Explain())
+		return
+	}
+
+	var input io.Reader = os.Stdin
+	if *inputFile != "" {
+		f, err := os.Open(*inputFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+	var output io.Writer = os.Stdout
+	if *outputFile != "" {
+		f, err := os.Create(*outputFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		output = f
+	}
+
+	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery}
+	switch *engineName {
+	case "gcx":
+		opts.Engine = gcx.EngineGCX
+	case "projection", "proj", "nogc":
+		opts.Engine = gcx.EngineProjectionOnly
+	case "dom", "naive":
+		opts.Engine = gcx.EngineDOM
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engineName))
+	}
+	switch *mode {
+	case "deferred":
+	case "eager":
+		opts.SignOffMode = gcx.SignOffEager
+	default:
+		fatal(fmt.Errorf("unknown sign-off mode %q", *mode))
+	}
+
+	res, err := q.Execute(input, output, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if output == os.Stdout {
+		fmt.Println()
+	}
+	if *plotEvery > 0 {
+		for _, p := range res.Series {
+			fmt.Fprintf(os.Stderr, "%d\t%d\n", p.Token, p.Nodes)
+		}
+	}
+	if *showStats {
+		fmt.Fprintf(os.Stderr,
+			"tokens=%d peak_nodes=%d peak_bytes=%d final_nodes=%d appended=%d purged=%d output_bytes=%d time=%s\n",
+			res.TokensProcessed, res.PeakBufferedNodes, res.PeakBufferedBytes,
+			res.FinalBufferedNodes, res.TotalAppended, res.TotalPurged,
+			res.OutputBytes, res.Duration)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcx:", err)
+	os.Exit(1)
+}

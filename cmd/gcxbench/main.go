@@ -1,0 +1,102 @@
+// Command gcxbench regenerates the paper's Figure 5 table: evaluation
+// time and memory high watermark for the XMark queries across document
+// sizes, for the three buffering disciplines (GCX, static projection
+// without GC, and full DOM buffering).
+//
+//	gcxbench                         # default: 1,2,5 MB
+//	gcxbench -sizes 10,50 -queries Q1,Q8 -engines gcx,dom
+//	gcxbench -paper                  # the paper's 10,50,100,200 MB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"gcx"
+	"gcx/internal/sizeparse"
+	"gcx/internal/xmark"
+)
+
+func main() {
+	var (
+		sizesFlag   = flag.String("sizes", "1,2,5", "document sizes in MB, comma-separated")
+		queriesFlag = flag.String("queries", "Q1,Q6,Q8,Q13,Q20", "queries to run")
+		enginesFlag = flag.String("engines", "gcx,projection,dom", "engines to compare")
+		seed        = flag.Int64("seed", 1, "XMark generator seed")
+		paper       = flag.Bool("paper", false, "use the paper's sizes (10,50,100,200 MB; slow, memory-hungry)")
+	)
+	flag.Parse()
+
+	if *paper {
+		*sizesFlag = "10,50,100,200"
+	}
+	var sizes []int64
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		var mb int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &mb); err != nil || mb <= 0 {
+			fatal(fmt.Errorf("malformed size %q", s))
+		}
+		sizes = append(sizes, mb<<20)
+	}
+	queries := strings.Split(*queriesFlag, ",")
+	engines := strings.Split(*enginesFlag, ",")
+
+	fmt.Printf("%-8s %-7s", "Query", "Size")
+	for _, e := range engines {
+		fmt.Printf(" %22s", strings.TrimSpace(e))
+	}
+	fmt.Println()
+	fmt.Println(strings.Repeat("-", 16+23*len(engines)))
+
+	for _, qid := range queries {
+		qid = strings.TrimSpace(qid)
+		entry, ok := xmark.Queries[qid]
+		if !ok {
+			fatal(fmt.Errorf("unknown query %q", qid))
+		}
+		q, err := gcx.Compile(entry.Text)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", qid, err))
+		}
+		for _, size := range sizes {
+			doc, _, err := xmark.GenerateString(xmark.Config{TargetBytes: size, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8s %-7s", qid, sizeparse.Format(size))
+			for _, engName := range engines {
+				opts := gcx.Options{EnableAggregation: entry.UsesAggregation}
+				switch strings.TrimSpace(engName) {
+				case "gcx":
+					opts.Engine = gcx.EngineGCX
+				case "projection", "proj", "nogc":
+					opts.Engine = gcx.EngineProjectionOnly
+				case "dom", "naive":
+					opts.Engine = gcx.EngineDOM
+				default:
+					fatal(fmt.Errorf("unknown engine %q", engName))
+				}
+				_, res, err := q.ExecuteString(doc, opts)
+				if err != nil {
+					fmt.Printf(" %22s", "-")
+					continue
+				}
+				fmt.Printf(" %10s /%10s", res.Duration.Round(res.Duration/100+1), sizeparse.Format(res.PeakBufferedBytes))
+			}
+			fmt.Println()
+			runtime.GC()
+		}
+	}
+	fmt.Println()
+	fmt.Println("cells: evaluation time / buffered-memory high watermark (estimated)")
+	fmt.Println("note:  the paper's FluXQuery column corresponds to the projection engine;")
+	fmt.Println("       FluXQuery could not run Q6 (descendant axis) — marked n/a in the paper.")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcxbench:", err)
+	os.Exit(1)
+}

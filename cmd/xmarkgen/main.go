@@ -1,0 +1,49 @@
+// Command xmarkgen generates XMark-like auction documents (the offline
+// stand-in for the original XMark xmlgen; see DESIGN.md).
+//
+//	xmarkgen -size 10MB -seed 1 -o auction.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcx/internal/sizeparse"
+	"gcx/internal/xmark"
+)
+
+func main() {
+	var (
+		size = flag.String("size", "1MB", "target document size (e.g. 512KB, 10MB)")
+		seed = flag.Int64("seed", 1, "PRNG seed")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	bytes, err := sizeparse.Parse(*size)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	st, err := xmark.Generate(w, xmark.Config{TargetBytes: bytes, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"xmarkgen: %d bytes, %d persons, %d items, %d open auctions, %d closed auctions, %d categories\n",
+		st.Bytes, st.Persons, st.Items, st.OpenAuctions, st.ClosedAuctions, st.Categories)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+	os.Exit(1)
+}

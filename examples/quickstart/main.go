@@ -1,0 +1,48 @@
+// Quickstart: compile a query, run it over a document, inspect the
+// buffer statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcx"
+)
+
+const doc = `<bib>
+  <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+  <article><title>A Relational Model</title></article>
+</bib>`
+
+const query = `<cheap>{
+  for $b in /bib/book return
+    if ($b/price <= 40) then $b/title else ()
+}</cheap>`
+
+func main() {
+	q, err := gcx.Compile(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, res, err := q.ExecuteString(doc, gcx.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("result:", out)
+	fmt.Printf("tokens processed:   %d\n", res.TokensProcessed)
+	fmt.Printf("peak buffered:      %d nodes (~%d bytes)\n", res.PeakBufferedNodes, res.PeakBufferedBytes)
+	fmt.Printf("left in buffer:     %d nodes\n", res.FinalBufferedNodes)
+	fmt.Printf("evaluation time:    %s\n", res.Duration)
+
+	// The same query through the full-buffering baseline keeps the
+	// whole document in memory:
+	_, domRes, err := q.ExecuteString(doc, gcx.Options{Engine: gcx.EngineDOM})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull-buffering baseline peak: %d nodes (GCX: %d)\n",
+		domRes.PeakBufferedNodes, res.PeakBufferedNodes)
+}

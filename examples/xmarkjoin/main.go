@@ -1,0 +1,62 @@
+// xmarkjoin reproduces the paper's Figure 4(b): the value-based join
+// XMark Q8 is inherently blocking, so the buffer grows through three
+// characteristic phases — the diagonal (people section loads), the
+// plane (open_auctions contributes nothing), and the final rise
+// (closed_auctions join partners arrive).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcx"
+	"gcx/internal/xmark"
+)
+
+func main() {
+	const target = 2 << 20
+	doc, st, err := xmark.GenerateString(xmark.Config{TargetBytes: target, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d bytes, %d persons, %d closed auctions\n\n",
+		st.Bytes, st.Persons, st.ClosedAuctions)
+
+	q, err := gcx.Compile(xmark.Queries["Q8"].Text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, res, err := q.ExecuteString(doc, gcx.Options{RecordEvery: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("buffer growth over the stream (Fig. 4(b)):")
+	step := len(res.Series) / 24
+	if step == 0 {
+		step = 1
+	}
+	peak := res.PeakBufferedNodes
+	for i := 0; i < len(res.Series); i += step {
+		p := res.Series[i]
+		bar := int(float64(p.Nodes) / float64(peak) * 58)
+		fmt.Printf("%9d tokens |%-58s| %6d nodes\n", p.Token, repeat('█', bar), p.Nodes)
+	}
+	fmt.Printf("\npeak: %d nodes (~%.1f KB); final: %d — join partners are parked\n",
+		res.PeakBufferedNodes, float64(res.PeakBufferedBytes)/1024, res.FinalBufferedNodes)
+	fmt.Println("until the outer people-loop finishes (hoisted sign-offs), then freed.")
+	fmt.Println("\nPhases visible above: the people diagonal, the open_auctions")
+	fmt.Println("plateau, and the closed_auctions rise — memory is linear in the")
+	fmt.Println("input for this query class, for any engine (paper §3).")
+}
+
+func repeat(r rune, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = r
+	}
+	return string(out)
+}

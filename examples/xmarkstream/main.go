@@ -1,0 +1,49 @@
+// xmarkstream demonstrates the streaming sweet spot (paper Fig. 4(a)
+// and the Q1/Q6/Q13/Q20 rows of Fig. 5): on generated XMark-like
+// documents, GCX answers path queries with a constant-size buffer while
+// the full-buffering baseline holds the entire document.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcx"
+	"gcx/internal/xmark"
+)
+
+func main() {
+	const target = 2 << 20
+	doc, st, err := xmark.GenerateString(xmark.Config{TargetBytes: target, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated XMark-like document: %d bytes, %d persons, %d items\n\n",
+		st.Bytes, st.Persons, st.Items)
+
+	for _, id := range []string{"Q1", "Q6", "Q13", "Q20"} {
+		entry := xmark.Queries[id]
+		q, err := gcx.Compile(entry.Text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, gcxRes, err := q.ExecuteString(doc, gcx.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, domRes, err := q.ExecuteString(doc, gcx.Options{Engine: gcx.EngineDOM})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s %-55s\n", id, entry.Description)
+		fmt.Printf("     GCX: peak %6d nodes (%8d B) in %8s | DOM baseline: %7d nodes (%8d B) in %8s\n",
+			gcxRes.PeakBufferedNodes, gcxRes.PeakBufferedBytes, gcxRes.Duration.Round(1000),
+			domRes.PeakBufferedNodes, domRes.PeakBufferedBytes, domRes.Duration.Round(1000))
+		fmt.Printf("     memory ratio: %.0fx\n\n",
+			float64(domRes.PeakBufferedBytes)/float64(gcxRes.PeakBufferedBytes))
+	}
+
+	fmt.Println("All four queries run in near-constant memory under GCX regardless")
+	fmt.Println("of document size — the Fig. 5 pattern (1.2MB flat for GCX vs.")
+	fmt.Println("hundreds of MB for the in-memory engines).")
+}

@@ -1,0 +1,246 @@
+// Package gcx is a streaming XQuery engine with dynamic buffer
+// minimization, a Go reproduction of the GCX system (Koch, Scherzinger,
+// Schmidt: "The GCX System: Dynamic Buffer Minimization in Streaming
+// XQuery Evaluation", VLDB 2007).
+//
+// GCX evaluates a practical fragment of composition-free XQuery over
+// XML streams in a single pass. At compile time it derives projection
+// paths from the query — each defining a role, a token of future
+// relevance — and inserts signOff statements at preemption points. At
+// runtime, only nodes matched by a projection path are buffered; as
+// sign-offs strip roles from buffered nodes, subtrees whose role count
+// reaches zero are purged immediately (active garbage collection),
+// keeping memory proportional to what the remaining evaluation can
+// still touch rather than to the input size.
+//
+// Quick start:
+//
+//	q, err := gcx.Compile(`<out>{ for $b in /bib/book return $b/title }</out>`)
+//	if err != nil { ... }
+//	res, err := q.Execute(inputReader, os.Stdout, gcx.Options{})
+//	fmt.Println(res.PeakBufferedNodes) // high watermark of the buffer
+//
+// Besides the GCX engine itself the package bundles two reference
+// engines used by the paper's evaluation — full buffering (EngineDOM)
+// and static projection without garbage collection
+// (EngineProjectionOnly) — selectable via Options.Engine, so the
+// paper's comparisons can be reproduced with a one-line change.
+package gcx
+
+import (
+	"io"
+	"strings"
+	"time"
+
+	"gcx/internal/analysis"
+	"gcx/internal/core"
+	"gcx/internal/engine"
+)
+
+// Engine selects the buffering discipline of Execute.
+type Engine int
+
+const (
+	// EngineGCX is the paper's engine: stream projection plus active
+	// garbage collection (default).
+	EngineGCX Engine = iota
+	// EngineProjectionOnly applies static projection but never purges —
+	// the static-analysis-only class of systems in the paper's Fig. 5.
+	EngineProjectionOnly
+	// EngineDOM buffers the complete input before evaluating — the
+	// conventional in-memory class (Galax, Saxon, QizX in the paper).
+	EngineDOM
+)
+
+// SignOffMode selects when a signOff on a still-streaming subtree takes
+// effect; see DESIGN.md §3.
+type SignOffMode int
+
+const (
+	// SignOffDeferred queues the removal until the subtree's close tag
+	// arrives (default; matches the paper's published buffer plots).
+	SignOffDeferred SignOffMode = iota
+	// SignOffEager forces the input forward to the subtree's end and
+	// removes immediately.
+	SignOffEager
+)
+
+// Options tunes query execution.
+type Options struct {
+	Engine      Engine
+	SignOffMode SignOffMode
+	// EnableAggregation opts into the aggregation extension — count(),
+	// sum(), min(), max(), avg() in output position (the paper's
+	// fragment excludes aggregation).
+	EnableAggregation bool
+	// RecordEvery samples (tokens processed → nodes buffered) every N
+	// tokens for buffer plots like the paper's Figures 3 and 4;
+	// 0 disables recording.
+	RecordEvery int64
+}
+
+// Role describes one projection path derived by static analysis.
+type Role struct {
+	// Name is the paper-style role name: r1, r2, …
+	Name string
+	// Path is the absolute projection path (e.g. "/bib/*/price[1]").
+	Path string
+	// Kind classifies the role: root, binding, output, exists, operand
+	// or count.
+	Kind string
+	// Provenance points at the query fragment that created the role.
+	Provenance string
+}
+
+// SeriesPoint is one sample of the buffer plot.
+type SeriesPoint struct {
+	// Token is the number of input tokens processed (x-axis of the
+	// paper's plots).
+	Token int64
+	// Nodes is the number of buffered XML nodes (y-axis).
+	Nodes int64
+	// Bytes estimates the buffered size at the sample.
+	Bytes int64
+}
+
+// Result reports the statistics of one execution.
+type Result struct {
+	// TokensProcessed is the number of input tokens consumed.
+	TokensProcessed int64
+	// PeakBufferedNodes is the buffer high watermark in nodes.
+	PeakBufferedNodes int64
+	// PeakBufferedBytes estimates the memory high watermark.
+	PeakBufferedBytes int64
+	// FinalBufferedNodes is the buffer population after evaluation.
+	FinalBufferedNodes int64
+	// TotalAppended and TotalPurged count buffer churn over the run.
+	TotalAppended int64
+	TotalPurged   int64
+	// OutputBytes is the size of the serialized result.
+	OutputBytes int64
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+	// Series is the recorded buffer plot (empty unless
+	// Options.RecordEvery was set).
+	Series []SeriesPoint
+}
+
+// Query is a compiled query, reusable across executions.
+type Query struct {
+	plan *analysis.Plan
+}
+
+// CompileOptions exposes the static-analysis ablation switches. The
+// zero value reproduces the paper's analysis.
+type CompileOptions struct {
+	// DisableFirstWitness turns off the [1] first-witness pruning of
+	// existence-condition projection paths (the paper's r4), buffering
+	// every witness candidate. For ablation measurements only.
+	DisableFirstWitness bool
+	// CoarseGranularity switches use roles to subtree granularity
+	// (whole element subtrees instead of node-precise projection) —
+	// the relevance model of simpler streaming systems. For ablation
+	// measurements only.
+	CoarseGranularity bool
+}
+
+// Compile parses and statically analyzes a query: normalization to the
+// single-step core, projection-path/role derivation and signOff
+// insertion.
+func Compile(src string) (*Query, error) {
+	return CompileWithOptions(src, CompileOptions{})
+}
+
+// CompileWithOptions compiles with explicit analysis switches.
+func CompileWithOptions(src string, opts CompileOptions) (*Query, error) {
+	plan, err := core.CompileWithOptions(src, analysis.Options{
+		DisableFirstWitness: opts.DisableFirstWitness,
+		CoarseGranularity:   opts.CoarseGranularity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Query{plan: plan}, nil
+}
+
+// MustCompile is Compile for static queries; it panics on error.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Roles returns the projection paths derived from the query, in
+// derivation order (the paper's numbering r1, r2, …).
+func (q *Query) Roles() []Role {
+	roles := make([]Role, len(q.plan.Roles))
+	for i, r := range q.plan.Roles {
+		roles[i] = Role{
+			Name:       r.Name(),
+			Path:       r.Path.String(),
+			Kind:       r.Kind.String(),
+			Provenance: r.Provenance,
+		}
+	}
+	return roles
+}
+
+// Explain renders the role browser and the rewritten query with its
+// signOff statements — the textual counterpart of the demo's Fig. 3(a)
+// visualization.
+func (q *Query) Explain() string { return q.plan.Explain() }
+
+// UsesAggregation reports whether the query needs the aggregation
+// extension (count/sum/min/max/avg).
+func (q *Query) UsesAggregation() bool { return q.plan.UsesAggregation }
+
+// Execute evaluates the query over input, writing the serialized result
+// to output.
+func (q *Query) Execute(input io.Reader, output io.Writer, opts Options) (*Result, error) {
+	execOpts := core.ExecOptions{
+		EnableAggregation: opts.EnableAggregation,
+		RecordEvery:       opts.RecordEvery,
+	}
+	switch opts.Engine {
+	case EngineGCX:
+		execOpts.Engine = core.GCX
+	case EngineProjectionOnly:
+		execOpts.Engine = core.ProjectionOnly
+	case EngineDOM:
+		execOpts.Engine = core.DOM
+	}
+	if opts.SignOffMode == SignOffEager {
+		execOpts.SignOffMode = engine.Eager
+	}
+	res, err := core.Execute(q.plan, input, output, execOpts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		TokensProcessed:    res.TokensProcessed,
+		PeakBufferedNodes:  res.PeakBufferedNodes,
+		PeakBufferedBytes:  res.PeakBufferedBytes,
+		FinalBufferedNodes: res.FinalBufferedNodes,
+		TotalAppended:      res.TotalAppended,
+		TotalPurged:        res.TotalPurged,
+		OutputBytes:        res.OutputBytes,
+		Duration:           res.Duration,
+	}
+	for _, p := range res.Series {
+		out.Series = append(out.Series, SeriesPoint{Token: p.Token, Nodes: p.Nodes, Bytes: p.Bytes})
+	}
+	return out, nil
+}
+
+// ExecuteString is a convenience wrapper evaluating over a string input
+// and returning the output as a string.
+func (q *Query) ExecuteString(input string, opts Options) (string, *Result, error) {
+	var out strings.Builder
+	res, err := q.Execute(strings.NewReader(input), &out, opts)
+	if err != nil {
+		return "", nil, err
+	}
+	return out.String(), res, nil
+}

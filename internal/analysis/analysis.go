@@ -1,0 +1,159 @@
+// Package analysis implements GCX's static query analysis (paper §2–3):
+//
+//  1. normalization to the single-step core fragment;
+//  2. derivation of projection paths, one role per occurrence (the
+//     paper's roles r1…r7 for the running example);
+//  3. computation of preemption points and insertion of signOff
+//     statements into the query — including the hoisting rule that
+//     parks join partners in the buffer until the consuming outer loop
+//     has finished (XMark Q8's linear-memory behaviour, Fig. 4(b)).
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"gcx/internal/xpath"
+	"gcx/internal/xqast"
+)
+
+// RoleKind classifies why a role exists.
+type RoleKind uint8
+
+const (
+	// RoleRoot is the implicit role of the virtual document root (the
+	// paper's r1: "/").
+	RoleRoot RoleKind = iota
+	// RoleBinding marks the binding path of a for-loop (r2, r3, r6).
+	RoleBinding
+	// RoleOutput marks output expressions; their paths end in
+	// descendant-or-self::node() because the full subtree is emitted
+	// (r5, r7).
+	RoleOutput
+	// RoleExists marks existence conditions; their paths carry the
+	// first-witness predicate [1] (r4).
+	RoleExists
+	// RoleOperand marks comparison operands (string values, hence
+	// subtree paths; attribute operands keep only the element path).
+	RoleOperand
+	// RoleAgg marks aggregation arguments (count/sum/min/max/avg, extension).
+	RoleAgg
+)
+
+func (k RoleKind) String() string {
+	switch k {
+	case RoleRoot:
+		return "root"
+	case RoleBinding:
+		return "binding"
+	case RoleOutput:
+		return "output"
+	case RoleExists:
+		return "exists"
+	case RoleOperand:
+		return "operand"
+	case RoleAgg:
+		return "aggregate"
+	default:
+		return fmt.Sprintf("RoleKind(%d)", uint8(k))
+	}
+}
+
+// Role is one projection path with its provenance.
+type Role struct {
+	ID   int
+	Kind RoleKind
+	// Path is the absolute projection path evaluated by the stream
+	// preprojector.
+	Path xpath.Path
+	// Provenance describes the query fragment that created the role,
+	// for the role browser (-explain).
+	Provenance string
+}
+
+// Name renders the paper-style role name r1, r2, …
+func (r Role) Name() string { return fmt.Sprintf("r%d", r.ID+1) }
+
+// Plan is the compiled form of a query.
+type Plan struct {
+	// Source is the original query text, when known.
+	Source string
+	// Normalized is the single-step core form, before sign-off insertion.
+	Normalized *xqast.Query
+	// Rewritten is the executable form with signOff statements.
+	Rewritten *xqast.Query
+	// Roles are the projection paths, in discovery order (the paper's
+	// numbering).
+	Roles []Role
+	// UsesAggregation reports whether the query uses the aggregation extension.
+	UsesAggregation bool
+}
+
+// RolePaths returns the projection paths indexed by role id, the input
+// to projection.New.
+func (p *Plan) RolePaths() []xpath.Path {
+	paths := make([]xpath.Path, len(p.Roles))
+	for i, r := range p.Roles {
+		paths[i] = r.Path
+	}
+	return paths
+}
+
+// Explain renders the role browser and the rewritten query, the textual
+// equivalent of the paper's Figure 3(a).
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	b.WriteString("Roles (projection paths):\n")
+	for _, r := range p.Roles {
+		fmt.Fprintf(&b, "  %-4s %-55s (%s: %s)\n", r.Name()+":", r.Path.String(), r.Kind, r.Provenance)
+	}
+	b.WriteString("\nRewritten query with signOff statements:\n")
+	b.WriteString(xqast.Print(p.Rewritten))
+	return b.String()
+}
+
+// Options tunes the static analysis (ablation switches; the defaults
+// reproduce the paper).
+type Options struct {
+	// DisableFirstWitness drops the [1] predicate from existence-
+	// condition projection paths (the paper's r4 optimization), so
+	// every witness candidate is buffered instead of only the first.
+	// Used by the ablation benchmarks to quantify what first-witness
+	// pruning buys.
+	DisableFirstWitness bool
+	// CoarseGranularity derives subtree-granular use roles: whenever
+	// any part of a subtree is relevant (an operand, an existence
+	// witness, a text value), the whole element subtree is projected —
+	// the relevance model of simpler streaming systems. The paper's
+	// node-granular roles are the default; this switch quantifies what
+	// the finer granularity buys (ablation A5).
+	CoarseGranularity bool
+}
+
+// Analyze compiles a parsed query with the paper's default analysis:
+// normalize, derive roles, place sign-offs.
+func Analyze(q *xqast.Query) (*Plan, error) {
+	return AnalyzeWithOptions(q, Options{})
+}
+
+// AnalyzeWithOptions compiles with explicit analysis switches.
+func AnalyzeWithOptions(q *xqast.Query, opts Options) (*Plan, error) {
+	norm, err := Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	pristine := &xqast.Query{Body: xqast.CloneExpr(norm.Body)}
+
+	ex := newExtractor()
+	ex.opts = opts
+	if err := ex.run(norm); err != nil {
+		return nil, err
+	}
+	rewritten := &xqast.Query{Body: ex.rewrite(norm.Body, nil)}
+	return &Plan{
+		Normalized:      pristine,
+		Rewritten:       rewritten,
+		Roles:           ex.roles,
+		UsesAggregation: ex.usesAggregation,
+	}, nil
+}

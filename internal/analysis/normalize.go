@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"fmt"
+
+	"gcx/internal/xpath"
+	"gcx/internal/xqast"
+)
+
+// Normalize reduces a parsed query to the single-step core fragment of
+// GCX (paper footnote 1: a for-loop is single-step if it has the form
+// "for $x in $y/axis::ν return α"). Multi-step bindings are split into
+// chains of nested single-step loops over fresh variables, so that every
+// structural level of a binding path has its own loop — and therefore
+// its own role. Normalize also validates variable scoping and the
+// fragment's step restrictions.
+func Normalize(q *xqast.Query) (*xqast.Query, error) {
+	n := &normalizer{used: map[string]bool{}}
+	// collect used names so fresh variables cannot collide
+	collectVarNames(q.Body, n.used)
+	body, err := n.expr(q.Body, map[string]bool{xqast.RootVar: true})
+	if err != nil {
+		return nil, err
+	}
+	return &xqast.Query{Body: body}, nil
+}
+
+type normalizer struct {
+	used map[string]bool
+	seq  int
+}
+
+func (n *normalizer) fresh() string {
+	for {
+		n.seq++
+		name := fmt.Sprintf("v%d", n.seq)
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}
+
+func collectVarNames(e xqast.Expr, out map[string]bool) {
+	xqast.Walk(e, func(e xqast.Expr) bool {
+		if f, ok := e.(*xqast.ForExpr); ok {
+			out[f.Var] = true
+		}
+		return true
+	})
+}
+
+func (n *normalizer) expr(e xqast.Expr, scope map[string]bool) (xqast.Expr, error) {
+	switch e := e.(type) {
+	case *xqast.Empty, *xqast.StringLit:
+		return e, nil
+	case *xqast.Sequence:
+		items := make([]xqast.Expr, len(e.Items))
+		for i, item := range e.Items {
+			ni, err := n.expr(item, scope)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = ni
+		}
+		return &xqast.Sequence{Items: items}, nil
+	case *xqast.Element:
+		for _, a := range e.Attrs {
+			if a.Expr != nil {
+				if err := n.checkUsePath(*a.Expr, scope); err != nil {
+					return nil, err
+				}
+			}
+		}
+		content, err := n.expr(e.Content, scope)
+		if err != nil {
+			return nil, err
+		}
+		return &xqast.Element{Name: e.Name, Attrs: e.Attrs, Content: content}, nil
+	case *xqast.VarRef:
+		if !scope[e.Var] {
+			return nil, fmt.Errorf("analysis: unbound variable $%s", e.Var)
+		}
+		return e, nil
+	case *xqast.PathExpr:
+		if err := n.checkUsePath(*e, scope); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case *xqast.AggExpr:
+		if err := n.checkUsePath(e.Arg, scope); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case *xqast.ForExpr:
+		return n.forExpr(e, scope)
+	case *xqast.IfExpr:
+		if err := n.cond(e.Cond, scope); err != nil {
+			return nil, err
+		}
+		then, err := n.expr(e.Then, scope)
+		if err != nil {
+			return nil, err
+		}
+		els, err := n.expr(e.Else, scope)
+		if err != nil {
+			return nil, err
+		}
+		return &xqast.IfExpr{Cond: e.Cond, Then: then, Else: els}, nil
+	case *xqast.SignOff:
+		return nil, fmt.Errorf("analysis: signOff cannot appear in input queries")
+	default:
+		return nil, fmt.Errorf("analysis: unknown expression %T", e)
+	}
+}
+
+// forExpr splits a multi-step binding into a chain of single-step loops.
+func (n *normalizer) forExpr(f *xqast.ForExpr, scope map[string]bool) (xqast.Expr, error) {
+	if !scope[f.In.Base] {
+		return nil, fmt.Errorf("analysis: unbound variable $%s in for-loop binding", f.In.Base)
+	}
+	if scope[f.Var] {
+		return nil, fmt.Errorf("analysis: variable $%s shadows an in-scope binding", f.Var)
+	}
+	steps := f.In.Path.Steps
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("analysis: empty for-loop binding for $%s", f.Var)
+	}
+	for i, s := range steps {
+		switch s.Axis {
+		case xpath.Child, xpath.Descendant, xpath.DescendantOrSelf:
+		default:
+			return nil, fmt.Errorf("analysis: axis %s not supported in for-loop bindings", s.Axis)
+		}
+		if s.Test.Kind == xpath.TestText && i != len(steps)-1 {
+			return nil, fmt.Errorf("analysis: text() must be the final step of a binding")
+		}
+	}
+
+	scope[f.Var] = true
+	defer delete(scope, f.Var)
+
+	// innermost loop keeps the user variable and the final step
+	base := f.In.Base
+	var chainVars []string
+	for i := 0; i < len(steps)-1; i++ {
+		v := n.fresh()
+		chainVars = append(chainVars, v)
+		scope[v] = true
+	}
+	defer func() {
+		for _, v := range chainVars {
+			delete(scope, v)
+		}
+	}()
+
+	body, err := n.expr(f.Body, scope)
+	if err != nil {
+		return nil, err
+	}
+
+	inner := &xqast.ForExpr{
+		Var: f.Var,
+		In: xqast.PathExpr{
+			Base: lastOr(chainVars, base),
+			Path: xpath.Path{Steps: []xpath.Step{steps[len(steps)-1]}},
+		},
+		Body: body,
+	}
+	loop := inner
+	for i := len(chainVars) - 1; i >= 0; i-- {
+		prev := base
+		if i > 0 {
+			prev = chainVars[i-1]
+		}
+		loop = &xqast.ForExpr{
+			Var: chainVars[i],
+			In: xqast.PathExpr{
+				Base: prev,
+				Path: xpath.Path{Steps: []xpath.Step{steps[i]}},
+			},
+			Body: loop,
+		}
+	}
+	return loop, nil
+}
+
+func lastOr(vars []string, fallback string) string {
+	if len(vars) == 0 {
+		return fallback
+	}
+	return vars[len(vars)-1]
+}
+
+func (n *normalizer) cond(c xqast.Cond, scope map[string]bool) error {
+	switch c := c.(type) {
+	case *xqast.ExistsCond:
+		return n.checkUsePath(c.Arg, scope)
+	case *xqast.NotCond:
+		return n.cond(c.C, scope)
+	case *xqast.AndCond:
+		if err := n.cond(c.L, scope); err != nil {
+			return err
+		}
+		return n.cond(c.R, scope)
+	case *xqast.OrCond:
+		if err := n.cond(c.L, scope); err != nil {
+			return err
+		}
+		return n.cond(c.R, scope)
+	case *xqast.BoolLit:
+		return nil
+	case *xqast.CompareCond:
+		for _, o := range []xqast.Operand{c.L, c.R} {
+			if o.Kind == xqast.OperandPath {
+				if err := n.checkUsePath(o.Path, scope); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("analysis: unknown condition %T", c)
+	}
+}
+
+// checkUsePath validates a path used in output, condition or count
+// position.
+func (n *normalizer) checkUsePath(pe xqast.PathExpr, scope map[string]bool) error {
+	if !scope[pe.Base] {
+		return fmt.Errorf("analysis: unbound variable $%s", pe.Base)
+	}
+	for i, s := range pe.Path.Steps {
+		last := i == len(pe.Path.Steps)-1
+		switch s.Axis {
+		case xpath.Child, xpath.Descendant, xpath.DescendantOrSelf, xpath.Self:
+		case xpath.Attribute:
+			if !last {
+				return fmt.Errorf("analysis: attribute step must be final in %s", pe.Path)
+			}
+		}
+		if s.Test.Kind == xpath.TestText && !last {
+			return fmt.Errorf("analysis: text() must be the final step in %s", pe.Path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package buffer
+
+import (
+	"fmt"
+	"strings"
+
+	"gcx/internal/xmltok"
+)
+
+// Buffer is the buffer manager's store: the tree of buffered nodes and
+// the accounting needed for the paper's plots and invariants.
+type Buffer struct {
+	Root *Node
+
+	// CurrentNodes is the paper's y-axis: buffered element and text
+	// nodes (the virtual root is not counted).
+	CurrentNodes int64
+	// PeakNodes is the high watermark of CurrentNodes.
+	PeakNodes int64
+	// CurrentBytes estimates the resident size of the buffered tree
+	// (per-node overhead plus name/text/attribute payloads); PeakBytes
+	// is its high watermark — the "memory consumption" column of the
+	// paper's Figure 5.
+	CurrentBytes int64
+	PeakBytes    int64
+	// TotalAppended counts every node ever buffered.
+	TotalAppended int64
+	// TotalPurged counts every node ever purged.
+	TotalPurged int64
+
+	// assigned/removed count role instances for the balance invariant.
+	assigned map[int]int64
+	removed  map[int]int64
+
+	// pending holds deferred sign-offs (see PendingSignOffs).
+	pending []pendingSignOff
+
+	// DisableGC turns the purge step off. The projection-only baseline
+	// engine (static analysis without dynamic buffer minimization) runs
+	// with this set: roles are still tracked, nothing is ever freed.
+	DisableGC bool
+}
+
+// New returns an empty buffer containing only the (permanently pinned)
+// virtual root.
+func New() *Buffer {
+	root := &Node{Kind: KindRoot, pins: 1, subtreeWeight: 1}
+	return &Buffer{
+		Root:     root,
+		assigned: make(map[int]int64),
+		removed:  make(map[int]int64),
+	}
+}
+
+// AssignedTotal returns the number of instances of role assigned so far.
+func (b *Buffer) AssignedTotal(role int) int64 { return b.assigned[role] }
+
+// RemovedTotal returns the number of instances of role removed so far.
+func (b *Buffer) RemovedTotal(role int) int64 { return b.removed[role] }
+
+// addWeight adjusts the subtreeWeight chain from n to the root.
+func addWeight(n *Node, delta int64) {
+	for p := n; p != nil; p = p.Parent {
+		p.subtreeWeight += delta
+	}
+}
+
+// addNodes adjusts the subtreeNodes chain from n to the root.
+func addNodes(n *Node, delta int64) {
+	for p := n; p != nil; p = p.Parent {
+		p.subtreeNodes += delta
+	}
+}
+
+// AppendElement buffers a new element under parent. The node starts
+// open: it carries one pin until CloseNode is called, so it cannot be
+// purged while its subtree is still streaming in.
+func (b *Buffer) AppendElement(parent *Node, name string, attrs []xmltok.Attr) *Node {
+	n := &Node{Kind: KindElement, Name: name, Attrs: attrs, Parent: parent, pins: 1}
+	b.link(parent, n)
+	addWeight(n, 1) // the open pin
+	return n
+}
+
+// AppendText buffers a text node under parent. Text nodes are born
+// closed and unpinned. The preprojector only buffers text that matched a
+// projection path, so the caller must assign at least one role right
+// after appending; a permanently role-less text node would violate the
+// zero-weight-is-purged invariant.
+func (b *Buffer) AppendText(parent *Node, text string) *Node {
+	n := &Node{Kind: KindText, Text: text, Parent: parent, Closed: true}
+	b.link(parent, n)
+	return n
+}
+
+// nodeBytes estimates the resident size of a single buffered node:
+// struct overhead plus payload strings.
+func nodeBytes(n *Node) int64 {
+	size := int64(128) // struct, links, role map headroom
+	size += int64(len(n.Name) + len(n.Text))
+	for _, a := range n.Attrs {
+		size += int64(len(a.Name) + len(a.Value) + 32)
+	}
+	return size
+}
+
+func (b *Buffer) link(parent, n *Node) {
+	n.subtreeNodes = 1
+	n.bytes = nodeBytes(n)
+	if parent.LastChild != nil {
+		parent.LastChild.NextSib = n
+		n.PrevSib = parent.LastChild
+		parent.LastChild = n
+	} else {
+		parent.FirstChild = n
+		parent.LastChild = n
+	}
+	addNodes(parent, 1)
+	b.CurrentNodes++
+	b.CurrentBytes += n.bytes
+	b.TotalAppended++
+	if b.CurrentNodes > b.PeakNodes {
+		b.PeakNodes = b.CurrentNodes
+	}
+	if b.CurrentBytes > b.PeakBytes {
+		b.PeakBytes = b.CurrentBytes
+	}
+}
+
+// AssignRole adds one instance of role to n.
+func (b *Buffer) AssignRole(n *Node, role int) {
+	if n.roles == nil {
+		n.roles = make(map[int]int, 2)
+	}
+	n.roles[role]++
+	b.assigned[role]++
+	addWeight(n, 1)
+}
+
+// RemoveRole removes count instances of role from n and garbage-collects.
+// It panics if the node does not carry that many instances — that would
+// be a sign-off placement bug, which the engine must never produce.
+func (b *Buffer) RemoveRole(n *Node, role, count int) {
+	if count == 0 {
+		return
+	}
+	have := n.roles[role]
+	if have < count {
+		panic(fmt.Sprintf("buffer: removing %d×r%d from node <%s> carrying %d", count, role+1, n.Name, have))
+	}
+	if have == count {
+		delete(n.roles, role)
+	} else {
+		n.roles[role] = have - count
+	}
+	b.removed[role] += int64(count)
+	addWeight(n, -int64(count))
+	b.collect(n)
+}
+
+// Pin protects n from purging (an evaluator reference such as the
+// current for-loop binding). Pins nest.
+func (b *Buffer) Pin(n *Node) {
+	n.pins++
+	addWeight(n, 1)
+}
+
+// Unpin releases a pin and garbage-collects.
+func (b *Buffer) Unpin(n *Node) {
+	if n.pins == 0 {
+		panic("buffer: unpin of unpinned node")
+	}
+	n.pins--
+	addWeight(n, -1)
+	b.collect(n)
+}
+
+// CloseNode records the arrival of n's end tag and releases its open
+// pin.
+func (b *Buffer) CloseNode(n *Node) {
+	if n.Closed {
+		return
+	}
+	n.Closed = true
+	b.Unpin(n)
+}
+
+// collect purges the largest purgeable subtree containing n: it climbs
+// to the highest ancestor whose subtreeWeight is zero and unlinks it.
+// This is the paper's active garbage collection, triggered by the
+// reception of signOff statements (and by pin releases).
+func (b *Buffer) collect(n *Node) {
+	if b.DisableGC {
+		return
+	}
+	if n.subtreeWeight != 0 || n.unlinked || !n.InBuffer() {
+		return
+	}
+	victim := n
+	for victim.Parent != nil && victim.Parent.Kind != KindRoot && victim.Parent.subtreeWeight == 0 {
+		victim = victim.Parent
+	}
+	if victim.Kind == KindRoot {
+		return
+	}
+	b.unlink(victim)
+}
+
+func (b *Buffer) unlink(n *Node) {
+	parent := n.Parent
+	if n.PrevSib != nil {
+		n.PrevSib.NextSib = n.NextSib
+	} else if parent != nil {
+		parent.FirstChild = n.NextSib
+	}
+	if n.NextSib != nil {
+		n.NextSib.PrevSib = n.PrevSib
+	} else if parent != nil {
+		parent.LastChild = n.PrevSib
+	}
+	if parent != nil {
+		addNodes(parent, -n.subtreeNodes)
+	}
+	b.CurrentNodes -= n.subtreeNodes
+	b.CurrentBytes -= subtreeBytes(n)
+	b.TotalPurged += n.subtreeNodes
+	n.unlinked = true
+	n.Parent = nil
+	n.PrevSib = nil
+	n.NextSib = nil
+}
+
+// subtreeBytes sums the per-node size estimates of a subtree. It runs
+// once per purged subtree, so the total cost over a run is linear in the
+// number of nodes ever buffered.
+func subtreeBytes(n *Node) int64 {
+	total := n.bytes
+	for c := n.FirstChild; c != nil; c = c.NextSib {
+		total += subtreeBytes(c)
+	}
+	return total
+}
+
+// Dump renders the buffer tree with role annotations, reproducing the
+// paper's Figure 1 pictures (e.g. "book{r3,r5,r6}"). roleName may be
+// nil, in which case roles print as r1, r2, ...
+func (b *Buffer) Dump(roleName func(int) string) string {
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.label(roleName))
+		sb.WriteString("\n")
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			rec(c, depth+1)
+		}
+	}
+	rec(b.Root, 0)
+	return sb.String()
+}
+
+// CheckInvariants verifies the structural accounting of the whole
+// buffer; tests call it after every mutation sequence.
+func (b *Buffer) CheckInvariants() error {
+	var walk func(n *Node) (weight, nodes int64, err error)
+	walk = func(n *Node) (int64, int64, error) {
+		weight := int64(n.pins + n.RoleTotal())
+		var nodes int64
+		if n.Kind != KindRoot {
+			nodes = 1
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			if c.Parent != n {
+				return 0, 0, fmt.Errorf("child %q has wrong parent", c.Name)
+			}
+			w, m, err := walk(c)
+			if err != nil {
+				return 0, 0, err
+			}
+			weight += w
+			nodes += m
+		}
+		if weight != n.subtreeWeight {
+			return 0, 0, fmt.Errorf("node %q subtreeWeight=%d, recomputed %d", n.Name, n.subtreeWeight, weight)
+		}
+		if n.subtreeNodes != nodes {
+			return 0, 0, fmt.Errorf("node %q subtreeNodes=%d, recomputed %d", n.Name, n.subtreeNodes, nodes)
+		}
+		return weight, nodes, nil
+	}
+	_, nodes, err := walk(b.Root)
+	if err != nil {
+		return err
+	}
+	if nodes != b.CurrentNodes {
+		return fmt.Errorf("CurrentNodes=%d, recomputed %d", b.CurrentNodes, nodes)
+	}
+	if !b.DisableGC {
+		var zero func(n *Node) error
+		zero = func(n *Node) error {
+			if n.Kind != KindRoot && n.subtreeWeight == 0 {
+				return fmt.Errorf("unpurged zero-weight node %q", n.Name)
+			}
+			for c := n.FirstChild; c != nil; c = c.NextSib {
+				if err := zero(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := zero(b.Root); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckBalance verifies assigned == removed for every role; valid only
+// after evaluation has completed.
+func (b *Buffer) CheckBalance() error {
+	for role, a := range b.assigned {
+		if r := b.removed[role]; r != a {
+			return fmt.Errorf("role r%d: assigned %d, removed %d", role+1, a, r)
+		}
+	}
+	for role, r := range b.removed {
+		if a := b.assigned[role]; a != r {
+			return fmt.Errorf("role r%d: removed %d, assigned %d", role+1, r, a)
+		}
+	}
+	return nil
+}
+
+// Serialize writes the subtree of n to s (opening tag, content, closing
+// tag; text nodes as character data).
+func Serialize(n *Node, s *xmltok.Serializer) {
+	switch n.Kind {
+	case KindText:
+		s.Text(n.Text)
+	case KindElement:
+		s.StartElement(n.Name, n.Attrs)
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			Serialize(c, s)
+		}
+		s.EndElement(n.Name)
+	case KindRoot:
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			Serialize(c, s)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package buffer
+
+import (
+	"gcx/internal/xpath"
+)
+
+// Match is a node reached by a path evaluation together with its
+// derivation multiplicity. Paths with descendant axes can reach the same
+// node through several derivations; the paper's role accounting is a
+// multiset, so removals must respect multiplicity.
+type Match struct {
+	Node  *Node
+	Count int
+}
+
+// Matches evaluates path relative to base over the buffered tree and
+// returns the matched nodes with derivation multiplicities. Nodes appear
+// at most once in the result (counts aggregated); order follows the
+// step-wise expansion and is NOT document order — use SelectDocOrder for
+// output positions.
+//
+// Attribute steps are rejected: attributes are element properties in
+// this system and never appear in projection or sign-off paths.
+func Matches(base *Node, path xpath.Path) []Match {
+	if path.EndsWithAttribute() {
+		panic("buffer: attribute step in buffered-path evaluation")
+	}
+	cur := []Match{{Node: base, Count: 1}}
+	for _, step := range path.Steps {
+		cur = evalStep(cur, step)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func evalStep(sources []Match, step xpath.Step) []Match {
+	var out []Match
+	idx := make(map[*Node]int)
+	add := func(n *Node, count int) {
+		if i, ok := idx[n]; ok {
+			out[i].Count += count
+			return
+		}
+		idx[n] = len(out)
+		out = append(out, Match{Node: n, Count: count})
+	}
+	for _, src := range sources {
+		switch step.Axis {
+		case xpath.Self:
+			if matchesNode(src.Node, step.Test) {
+				add(src.Node, src.Count)
+			}
+		case xpath.Child:
+			for c := src.Node.FirstChild; c != nil; c = c.NextSib {
+				if matchesNode(c, step.Test) {
+					add(c, src.Count)
+					if step.FirstOnly {
+						break
+					}
+				}
+			}
+		case xpath.Descendant:
+			walkDescendants(src.Node, false, step, src.Count, add)
+		case xpath.DescendantOrSelf:
+			walkDescendants(src.Node, true, step, src.Count, add)
+		default:
+			panic("buffer: unsupported axis " + step.Axis.String())
+		}
+	}
+	return out
+}
+
+// walkDescendants visits the subtree of n in document order, applying
+// the test. With FirstOnly, only the first match (per source context) is
+// reported.
+func walkDescendants(n *Node, includeSelf bool, step xpath.Step, count int, add func(*Node, int)) {
+	first := step.FirstOnly
+	var rec func(m *Node, self bool) bool
+	rec = func(m *Node, self bool) bool {
+		if self && matchesNode(m, step.Test) {
+			add(m, count)
+			if first {
+				return true
+			}
+		}
+		for c := m.FirstChild; c != nil; c = c.NextSib {
+			if rec(c, true) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(n, includeSelf)
+}
+
+func matchesNode(n *Node, test xpath.Test) bool {
+	switch n.Kind {
+	case KindElement:
+		return test.MatchesElement(n.Name)
+	case KindText:
+		return test.MatchesText()
+	case KindRoot:
+		// The virtual root is matched only by node() via self /
+		// descendant-or-self (role r1's target).
+		return test.Kind == xpath.TestNode
+	}
+	return false
+}
+
+// SelectDocOrder evaluates path relative to base and returns the
+// distinct matched nodes in document order — the node-set semantics of
+// output positions ("$b/title" emits each title once, in order).
+func SelectDocOrder(base *Node, path xpath.Path) []*Node {
+	matches := Matches(base, path)
+	if len(matches) == 0 {
+		return nil
+	}
+	if len(matches) == 1 {
+		return []*Node{matches[0].Node}
+	}
+	set := make(map[*Node]bool, len(matches))
+	for _, m := range matches {
+		set[m.Node] = true
+	}
+	out := make([]*Node, 0, len(set))
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if set[n] {
+			out = append(out, n)
+			if len(out) == len(set) {
+				return
+			}
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			rec(c)
+			if len(out) == len(set) {
+				return
+			}
+		}
+	}
+	rec(base)
+	return out
+}
+
+// Exists reports whether path has at least one match from base right
+// now, short-circuiting at the first hit. The engine calls this once
+// per processed token while blocked on an existence condition, so it
+// must not materialize full match sets. (The caller decides whether
+// "no match yet" is final by checking whether base's subtree is fully
+// read.)
+func Exists(base *Node, path xpath.Path) bool {
+	return existsFrom(base, path.Steps)
+}
+
+func existsFrom(n *Node, steps []xpath.Step) bool {
+	if len(steps) == 0 {
+		return true
+	}
+	step := steps[0]
+	rest := steps[1:]
+	switch step.Axis {
+	case xpath.Self:
+		return matchesNode(n, step.Test) && existsFrom(n, rest)
+	case xpath.Child:
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			if matchesNode(c, step.Test) {
+				if existsFrom(c, rest) {
+					return true
+				}
+				if step.FirstOnly {
+					return false // only the first witness counts
+				}
+			}
+		}
+		return false
+	case xpath.Descendant, xpath.DescendantOrSelf:
+		includeSelf := step.Axis == xpath.DescendantOrSelf
+		var rec func(m *Node, self bool) (found, stop bool)
+		rec = func(m *Node, self bool) (bool, bool) {
+			if self && matchesNode(m, step.Test) {
+				if existsFrom(m, rest) {
+					return true, true
+				}
+				if step.FirstOnly {
+					return false, true
+				}
+			}
+			for c := m.FirstChild; c != nil; c = c.NextSib {
+				found, stop := rec(c, true)
+				if stop {
+					return found, true
+				}
+			}
+			return false, false
+		}
+		found, _ := rec(n, includeSelf)
+		return found
+	default:
+		panic("buffer: unsupported axis in Exists")
+	}
+}
+
+// NextMatchingChild returns the first child of parent after cur (or the
+// very first child if cur is nil) that satisfies test. It is the
+// iteration step of child-axis for-loops.
+func NextMatchingChild(parent, cur *Node, test xpath.Test) *Node {
+	c := parent.FirstChild
+	if cur != nil {
+		c = cur.NextSib
+	}
+	for ; c != nil; c = c.NextSib {
+		if matchesNode(c, test) {
+			return c
+		}
+	}
+	return nil
+}
+
+// NextMatchingDescendant returns the next node after cur in the
+// document-order traversal of base's subtree that satisfies test
+// (excluding base itself unless includeSelf). cur == nil starts the
+// iteration. It is the iteration step of descendant-axis for-loops.
+func NextMatchingDescendant(base, cur *Node, test xpath.Test, includeSelf bool) *Node {
+	n := cur
+	if n == nil {
+		if includeSelf && matchesNode(base, test) {
+			return base
+		}
+		n = base
+		// fall through to successor scan starting at base's first child
+	}
+	for {
+		n = docOrderSuccessor(base, n)
+		if n == nil {
+			return nil
+		}
+		if matchesNode(n, test) {
+			return n
+		}
+	}
+}
+
+// docOrderSuccessor returns the node following n in the document-order
+// traversal of base's subtree, or nil when the subtree is exhausted.
+func docOrderSuccessor(base, n *Node) *Node {
+	if n.FirstChild != nil {
+		return n.FirstChild
+	}
+	for n != nil && n != base {
+		if n.NextSib != nil {
+			return n.NextSib
+		}
+		n = n.Parent
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Package core wires the compile pipeline (parse → normalize → analyze
+// → rewrite) and the engine dispatch behind the public gcx package. It
+// is the seam between the paper's static analysis (internal/analysis)
+// and the three runtime disciplines compared in the paper's Figure 5.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gcx/internal/analysis"
+	"gcx/internal/baseline"
+	"gcx/internal/engine"
+	"gcx/internal/stats"
+	"gcx/internal/xqparse"
+)
+
+// EngineKind selects the buffering discipline.
+type EngineKind uint8
+
+const (
+	// GCX is the paper's engine: static projection + dynamic buffer
+	// minimization via active garbage collection.
+	GCX EngineKind = iota
+	// ProjectionOnly is the static-analysis-only baseline (projection,
+	// no purging).
+	ProjectionOnly
+	// DOM is the full-buffering baseline.
+	DOM
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case GCX:
+		return "gcx"
+	case ProjectionOnly:
+		return "projection"
+	case DOM:
+		return "dom"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", uint8(k))
+	}
+}
+
+// ParseEngineKind resolves a CLI name.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "gcx":
+		return GCX, nil
+	case "projection", "proj", "nogc":
+		return ProjectionOnly, nil
+	case "dom", "naive":
+		return DOM, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want gcx, projection or dom)", s)
+	}
+}
+
+// Compile parses and analyzes a query with the paper's default
+// analysis.
+func Compile(src string) (*analysis.Plan, error) {
+	return CompileWithOptions(src, analysis.Options{})
+}
+
+// CompileWithOptions parses and analyzes with explicit analysis
+// switches (ablations).
+func CompileWithOptions(src string, opts analysis.Options) (*analysis.Plan, error) {
+	q, err := xqparse.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := analysis.AnalyzeWithOptions(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	plan.Source = src
+	return plan, nil
+}
+
+// ExecOptions tunes a run.
+type ExecOptions struct {
+	Engine            EngineKind
+	SignOffMode       engine.SignOffMode
+	EnableAggregation bool
+	// RecordEvery samples the buffer plot every N tokens (0 disables).
+	// Recording is only meaningful for the streaming engines.
+	RecordEvery int64
+}
+
+// ExecResult combines the engine statistics with timing and the
+// recorded series.
+type ExecResult struct {
+	engine.Result
+	Duration time.Duration
+	Series   []stats.Point
+}
+
+// Execute runs a compiled plan over input, writing the result to
+// output.
+func Execute(plan *analysis.Plan, input io.Reader, output io.Writer, opts ExecOptions) (*ExecResult, error) {
+	start := time.Now()
+	var res *engine.Result
+	var err error
+	var rec *stats.Recorder
+	switch opts.Engine {
+	case GCX, ProjectionOnly:
+		cfg := engine.Config{
+			SignOffMode:       opts.SignOffMode,
+			DisableGC:         opts.Engine == ProjectionOnly,
+			EnableAggregation: opts.EnableAggregation,
+		}
+		if opts.RecordEvery > 0 {
+			rec = stats.NewRecorder(opts.RecordEvery)
+			cfg.Recorder = rec
+		}
+		res, err = engine.New(plan, input, output, cfg).Run()
+	case DOM:
+		res, err = baseline.RunDOM(plan, input, output, opts.EnableAggregation)
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %d", opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecResult{Result: *res, Duration: time.Since(start)}
+	if rec != nil {
+		out.Series = rec.Points
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const doc = `<bib><book><title>A</title></book><book><title>B</title></book></bib>`
+const query = `<out>{ for $b in /bib/book return $b/title }</out>`
+
+func TestCompile(t *testing.T) {
+	plan, err := Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Source != query {
+		t.Fatal("Source not recorded")
+	}
+	if len(plan.Roles) == 0 || plan.Rewritten == nil || plan.Normalized == nil {
+		t.Fatal("plan incomplete")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(`for $x in`); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+	if _, err := Compile(`$nope/x`); err == nil {
+		t.Fatal("analysis error not surfaced")
+	}
+}
+
+func TestExecuteAllEngines(t *testing.T) {
+	plan, err := Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<out><title>A</title><title>B</title></out>`
+	for _, kind := range []EngineKind{GCX, ProjectionOnly, DOM} {
+		var out strings.Builder
+		res, err := Execute(plan, strings.NewReader(doc), &out, ExecOptions{Engine: kind})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if out.String() != want {
+			t.Fatalf("%s output = %q", kind, out.String())
+		}
+		if res.Duration <= 0 {
+			t.Fatalf("%s duration not measured", kind)
+		}
+		if res.PeakBufferedNodes <= 0 {
+			t.Fatalf("%s peak missing", kind)
+		}
+	}
+}
+
+func TestExecuteRecordsSeries(t *testing.T) {
+	plan, err := Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	res, err := Execute(plan, strings.NewReader(doc), &out, ExecOptions{RecordEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("series not recorded")
+	}
+	// recording is a streaming-engine feature; DOM ignores it
+	res, err = Execute(plan, strings.NewReader(doc), &out, ExecOptions{Engine: DOM, RecordEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 0 {
+		t.Fatal("DOM must not record a series")
+	}
+}
+
+func TestParseEngineKind(t *testing.T) {
+	cases := map[string]EngineKind{
+		"gcx": GCX, "projection": ProjectionOnly, "proj": ProjectionOnly,
+		"nogc": ProjectionOnly, "dom": DOM, "naive": DOM,
+	}
+	for s, want := range cases {
+		got, err := ParseEngineKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEngineKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEngineKind("bogus"); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	for kind, want := range map[EngineKind]string{GCX: "gcx", ProjectionOnly: "projection", DOM: "dom"} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q", kind, kind.String())
+		}
+	}
+}

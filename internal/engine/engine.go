@@ -1,0 +1,507 @@
+// Package engine implements the GCX runtime (paper Fig. 2): the
+// sequential, pull-based query evaluator on top of the buffer manager
+// and the stream preprojector.
+//
+// The evaluator walks the rewritten query. Whenever it needs data that
+// is not yet buffered — the next binding of a for-loop variable, the
+// witness of an existence condition, a subtree to emit — it blocks on
+// the buffer manager (ensure), which pulls tokens through the
+// preprojector until the demand is satisfiable or the input is
+// exhausted. signOff statements trigger role removal and, with it, the
+// active garbage collection of the buffer.
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"gcx/internal/analysis"
+	"gcx/internal/buffer"
+	"gcx/internal/projection"
+	"gcx/internal/stats"
+	"gcx/internal/xmltok"
+	"gcx/internal/xpath"
+	"gcx/internal/xqast"
+	"gcx/internal/xqvalue"
+)
+
+// SignOffMode selects when a signOff on a still-streaming subtree takes
+// effect (DESIGN.md §3).
+type SignOffMode uint8
+
+const (
+	// Deferred queues such sign-offs until the subtree's close tag has
+	// been read (default; reproduces the paper's Fig. 3(c) timing).
+	Deferred SignOffMode = iota
+	// Eager forces the buffer manager to read to the subtree's end
+	// first, then removes immediately (purges earlier, reads no more
+	// input overall).
+	Eager
+)
+
+// Config tunes an engine run.
+type Config struct {
+	SignOffMode SignOffMode
+	// DisableGC runs static projection without dynamic buffer
+	// minimization: roles are tracked but nothing is purged. This is
+	// the projection-only baseline engine of the Fig. 5 comparison.
+	DisableGC bool
+	// EnableAggregation permits the count() aggregation extension.
+	EnableAggregation bool
+	// Recorder, if non-nil, samples the buffer size per input token.
+	Recorder *stats.Recorder
+}
+
+// Result reports the run statistics the paper's evaluation uses.
+type Result struct {
+	// TokensProcessed is the number of input tokens consumed.
+	TokensProcessed int64
+	// PeakBufferedNodes is the high watermark of buffered XML nodes.
+	PeakBufferedNodes int64
+	// PeakBufferedBytes estimates the memory high watermark.
+	PeakBufferedBytes int64
+	// FinalBufferedNodes is the number of nodes left after evaluation
+	// (0 for GCX; the whole projected document for the no-GC baseline).
+	FinalBufferedNodes int64
+	// TotalAppended / TotalPurged count buffer churn.
+	TotalAppended int64
+	TotalPurged   int64
+	// OutputBytes is the size of the serialized result.
+	OutputBytes int64
+}
+
+// Engine evaluates one compiled query over one input stream.
+type Engine struct {
+	plan *analysis.Plan
+	cfg  Config
+	buf  *buffer.Buffer
+	proj *projection.Preprojector
+	out  *xmltok.Serializer
+}
+
+// New builds an engine instance for a single run.
+func New(plan *analysis.Plan, input io.Reader, output io.Writer, cfg Config) *Engine {
+	buf := buffer.New()
+	buf.DisableGC = cfg.DisableGC
+	tz := xmltok.NewTokenizer(input)
+	proj := projection.New(tz, buf, plan.RolePaths())
+	e := &Engine{
+		plan: plan,
+		cfg:  cfg,
+		buf:  buf,
+		proj: proj,
+		out:  xmltok.NewSerializer(output),
+	}
+	if cfg.Recorder != nil {
+		rec := cfg.Recorder
+		proj.OnToken = func() {
+			rec.Record(proj.TokensProcessed(), buf.CurrentNodes, buf.CurrentBytes)
+		}
+	}
+	return e
+}
+
+// Buffer exposes the underlying buffer (tests and the -explain tooling
+// inspect it; external callers use Result).
+func (e *Engine) Buffer() *buffer.Buffer { return e.buf }
+
+// Run evaluates the query to completion.
+func (e *Engine) Run() (*Result, error) {
+	if e.plan.UsesAggregation && !e.cfg.EnableAggregation {
+		return nil, fmt.Errorf("engine: query uses the aggregation extension (count/sum/min/max/avg); enable it explicitly — the paper fragment excludes aggregation")
+	}
+	env := map[string]*buffer.Node{xqast.RootVar: e.buf.Root}
+	if err := e.eval(e.plan.Rewritten.Body, env); err != nil {
+		return nil, err
+	}
+	// Epilogue: consume the remaining input. The paper's engines read
+	// the complete stream (Fig. 5 times scale with document size even
+	// for early-answer queries like Q1); it also lets deferred
+	// sign-offs queued on still-open ancestors settle, establishing the
+	// assignment/removal balance.
+	if err := e.ensure(func() bool { return false }); err != nil {
+		return nil, err
+	}
+	e.buf.DrainPending()
+	if err := e.out.Flush(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		TokensProcessed:    e.proj.TokensProcessed(),
+		PeakBufferedNodes:  e.buf.PeakNodes,
+		PeakBufferedBytes:  e.buf.PeakBytes,
+		FinalBufferedNodes: e.buf.CurrentNodes,
+		TotalAppended:      e.buf.TotalAppended,
+		TotalPurged:        e.buf.TotalPurged,
+		OutputBytes:        e.out.BytesWritten(),
+	}, nil
+}
+
+// CheckBalance verifies the role assignment/removal balance after Run
+// (exposed for tests and the property harness).
+func (e *Engine) CheckBalance() error { return e.buf.CheckBalance() }
+
+// ensure pulls input through the preprojector until pred is satisfied
+// or the stream ends, then lets deferred sign-offs whose subtrees
+// completed take effect. This is the "blocked evaluator ↔ buffer
+// manager ↔ preprojector" request chain of the paper's Fig. 2.
+func (e *Engine) ensure(pred func() bool) error {
+	for !pred() {
+		ok, err := e.proj.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// input exhausted: the virtual root is now complete
+			e.buf.Root.Closed = true
+			break
+		}
+	}
+	e.buf.DrainPending()
+	return nil
+}
+
+// ensureClosed blocks until n's subtree is fully buffered.
+func (e *Engine) ensureClosed(n *buffer.Node) error {
+	return e.ensure(func() bool { return n.Closed })
+}
+
+func (e *Engine) eval(expr xqast.Expr, env map[string]*buffer.Node) error {
+	switch expr := expr.(type) {
+	case *xqast.Empty:
+		return nil
+	case *xqast.Sequence:
+		for _, item := range expr.Items {
+			if err := e.eval(item, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *xqast.StringLit:
+		e.out.Text(expr.Value)
+		return nil
+	case *xqast.Element:
+		attrs, err := e.evalAttrs(expr.Attrs, env)
+		if err != nil {
+			return err
+		}
+		e.out.StartElement(expr.Name, attrs)
+		if err := e.eval(expr.Content, env); err != nil {
+			return err
+		}
+		e.out.EndElement(expr.Name)
+		return nil
+	case *xqast.VarRef:
+		n := env[expr.Var]
+		if err := e.ensureClosed(n); err != nil {
+			return err
+		}
+		buffer.Serialize(n, e.out)
+		return nil
+	case *xqast.PathExpr:
+		return e.evalOutputPath(*expr, env)
+	case *xqast.ForExpr:
+		return e.evalFor(expr, env)
+	case *xqast.IfExpr:
+		holds, err := e.evalCond(expr.Cond, env)
+		if err != nil {
+			return err
+		}
+		if holds {
+			return e.eval(expr.Then, env)
+		}
+		return e.eval(expr.Else, env)
+	case *xqast.AggExpr:
+		return e.evalAgg(expr, env)
+	case *xqast.SignOff:
+		return e.evalSignOff(expr, env)
+	default:
+		return fmt.Errorf("engine: unknown expression %T", expr)
+	}
+}
+
+// evalOutputPath emits the subtrees (or attribute values) selected by a
+// path expression, in document order.
+func (e *Engine) evalOutputPath(pe xqast.PathExpr, env map[string]*buffer.Node) error {
+	base := env[pe.Base]
+	if err := e.ensureClosed(base); err != nil {
+		return err
+	}
+	if pe.Path.EndsWithAttribute() {
+		attr := pe.Path.LastStep().Test.Name
+		for _, n := range e.selectElems(base, pe.Path.WithoutLastStep()) {
+			if v, ok := n.Attr(attr); ok {
+				e.out.Text(v)
+			}
+		}
+		return nil
+	}
+	for _, n := range buffer.SelectDocOrder(base, pe.Path) {
+		buffer.Serialize(n, e.out)
+	}
+	return nil
+}
+
+// selectElems evaluates an element path; an empty path selects the base
+// itself.
+func (e *Engine) selectElems(base *buffer.Node, path xpath.Path) []*buffer.Node {
+	if path.IsEmpty() {
+		return []*buffer.Node{base}
+	}
+	return buffer.SelectDocOrder(base, path)
+}
+
+// evalFor runs a single-step for-loop: bindings are pulled one at a
+// time; the previous binding is unpinned (and thereby GC-eligible)
+// before the body of the next one runs.
+func (e *Engine) evalFor(f *xqast.ForExpr, env map[string]*buffer.Node) error {
+	base := env[f.In.Base]
+	step := f.In.Path.Steps[0]
+
+	next := func(prev *buffer.Node) *buffer.Node {
+		return e.nextBinding(base, prev, step)
+	}
+
+	var cur *buffer.Node
+	if err := e.ensure(func() bool {
+		cur = next(nil)
+		return cur != nil || base.Closed
+	}); err != nil {
+		return err
+	}
+	if cur != nil {
+		e.buf.Pin(cur)
+	}
+	for cur != nil {
+		env[f.Var] = cur
+		err := e.eval(f.Body, env)
+		delete(env, f.Var)
+		if err != nil {
+			e.buf.Unpin(cur)
+			return err
+		}
+		var nxt *buffer.Node
+		if err := e.ensure(func() bool {
+			nxt = next(cur)
+			return nxt != nil || base.Closed
+		}); err != nil {
+			e.buf.Unpin(cur)
+			return err
+		}
+		if nxt != nil {
+			e.buf.Pin(nxt)
+		}
+		e.buf.Unpin(cur)
+		cur = nxt
+	}
+	return nil
+}
+
+// nextBinding advances a loop cursor over the buffered tree.
+func (e *Engine) nextBinding(base, prev *buffer.Node, step xpath.Step) *buffer.Node {
+	switch step.Axis {
+	case xpath.Child:
+		if step.FirstOnly && prev != nil {
+			return nil
+		}
+		return buffer.NextMatchingChild(base, prev, step.Test)
+	case xpath.Descendant:
+		if step.FirstOnly && prev != nil {
+			return nil
+		}
+		return buffer.NextMatchingDescendant(base, prev, step.Test, false)
+	case xpath.DescendantOrSelf:
+		if step.FirstOnly && prev != nil {
+			return nil
+		}
+		return buffer.NextMatchingDescendant(base, prev, step.Test, true)
+	default:
+		return nil
+	}
+}
+
+// evalAttrs computes the attribute list of a constructor, evaluating
+// value templates against the environment.
+func (e *Engine) evalAttrs(attrs []xqast.AttrTemplate, env map[string]*buffer.Node) ([]xmltok.Attr, error) {
+	if len(attrs) == 0 {
+		return nil, nil
+	}
+	out := make([]xmltok.Attr, len(attrs))
+	for i, a := range attrs {
+		if a.Expr == nil {
+			out[i] = xmltok.Attr{Name: a.Name, Value: a.Lit}
+			continue
+		}
+		vals, err := e.pathValues(*a.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = xmltok.Attr{Name: a.Name, Value: xqvalue.JoinSpace(vals)}
+	}
+	return out, nil
+}
+
+// evalAgg evaluates an aggregation over the selected values.
+func (e *Engine) evalAgg(c *xqast.AggExpr, env map[string]*buffer.Node) error {
+	vals, err := e.pathValues(c.Arg, env)
+	if err != nil {
+		return err
+	}
+	if s, ok := xqvalue.Aggregate(c.Fn, vals); ok {
+		e.out.Text(s)
+	}
+	return nil
+}
+
+// evalSignOff executes a signOff statement: role removal plus garbage
+// collection, deferred or eager per configuration.
+func (e *Engine) evalSignOff(so *xqast.SignOff, env map[string]*buffer.Node) error {
+	base := env[so.Base]
+	if e.cfg.SignOffMode == Eager {
+		if err := e.ensureClosed(base); err != nil {
+			return err
+		}
+		e.buf.SignOffNow(base, so.Path, so.Role)
+		return nil
+	}
+	e.buf.QueueSignOff(base, so.Path, so.Role)
+	return nil
+}
+
+// --- conditions ----------------------------------------------------------
+
+func (e *Engine) evalCond(c xqast.Cond, env map[string]*buffer.Node) (bool, error) {
+	switch c := c.(type) {
+	case *xqast.BoolLit:
+		return c.Value, nil
+	case *xqast.NotCond:
+		v, err := e.evalCond(c.C, env)
+		return !v, err
+	case *xqast.AndCond:
+		l, err := e.evalCond(c.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.evalCond(c.R, env)
+	case *xqast.OrCond:
+		l, err := e.evalCond(c.L, env)
+		if err != nil || l {
+			return l, err
+		}
+		return e.evalCond(c.R, env)
+	case *xqast.ExistsCond:
+		return e.evalExists(c, env)
+	case *xqast.CompareCond:
+		return e.evalCompare(c, env)
+	default:
+		return false, fmt.Errorf("engine: unknown condition %T", c)
+	}
+}
+
+// evalExists blocks until a witness appears or the base subtree is
+// complete. The witness is guaranteed buffered by the condition's
+// first-witness projection path (the paper's r4).
+func (e *Engine) evalExists(c *xqast.ExistsCond, env map[string]*buffer.Node) (bool, error) {
+	base := env[c.Arg.Base]
+	if c.Arg.Path.IsEmpty() {
+		return true, nil
+	}
+	if c.Arg.Path.EndsWithAttribute() {
+		attr := c.Arg.Path.LastStep().Test.Name
+		elemPath := c.Arg.Path.WithoutLastStep()
+		has := func() bool {
+			for _, el := range e.selectElems(base, elemPath) {
+				if _, ok := el.Attr(attr); ok {
+					return true
+				}
+			}
+			return false
+		}
+		if err := e.ensure(func() bool { return has() || base.Closed }); err != nil {
+			return false, err
+		}
+		return has(), nil
+	}
+	if err := e.ensure(func() bool {
+		return buffer.Exists(base, c.Arg.Path) || base.Closed
+	}); err != nil {
+		return false, err
+	}
+	return buffer.Exists(base, c.Arg.Path), nil
+}
+
+// evalCompare implements XPath-1.0-style existential general comparison
+// over string values, switching to numeric comparison when a numeric
+// literal is involved or the operator is an ordering.
+func (e *Engine) evalCompare(c *xqast.CompareCond, env map[string]*buffer.Node) (bool, error) {
+	lv, err := e.operandValues(c.L, env)
+	if err != nil {
+		return false, err
+	}
+	rv, err := e.operandValues(c.R, env)
+	if err != nil {
+		return false, err
+	}
+	numeric := c.L.Kind == xqast.OperandNumber || c.R.Kind == xqast.OperandNumber ||
+		c.Op == xqast.CmpLt || c.Op == xqast.CmpLe || c.Op == xqast.CmpGt || c.Op == xqast.CmpGe
+	return xqvalue.ExistsPair(cmpOp(c.Op), lv, rv, numeric), nil
+}
+
+// cmpOp maps syntax-level operators to the shared value semantics.
+func cmpOp(op xqast.CmpOp) xqvalue.CmpOp {
+	switch op {
+	case xqast.CmpEq:
+		return xqvalue.Eq
+	case xqast.CmpNe:
+		return xqvalue.Ne
+	case xqast.CmpLt:
+		return xqvalue.Lt
+	case xqast.CmpLe:
+		return xqvalue.Le
+	case xqast.CmpGt:
+		return xqvalue.Gt
+	default:
+		return xqvalue.Ge
+	}
+}
+
+// pathValues evaluates a path expression to its value sequence: present
+// attribute values for attribute-final paths, string values of the
+// selected nodes otherwise. It blocks until the base subtree is fully
+// buffered.
+func (e *Engine) pathValues(pe xqast.PathExpr, env map[string]*buffer.Node) ([]string, error) {
+	base := env[pe.Base]
+	if err := e.ensureClosed(base); err != nil {
+		return nil, err
+	}
+	if pe.Path.EndsWithAttribute() {
+		attr := pe.Path.LastStep().Test.Name
+		var vals []string
+		for _, el := range e.selectElems(base, pe.Path.WithoutLastStep()) {
+			if v, ok := el.Attr(attr); ok {
+				vals = append(vals, v)
+			}
+		}
+		return vals, nil
+	}
+	nodes := e.selectElems(base, pe.Path)
+	vals := make([]string, len(nodes))
+	for i, n := range nodes {
+		vals[i] = n.StringValue()
+	}
+	return vals, nil
+}
+
+// operandValues evaluates one comparison operand to its value sequence.
+func (e *Engine) operandValues(o xqast.Operand, env map[string]*buffer.Node) ([]string, error) {
+	switch o.Kind {
+	case xqast.OperandString:
+		return []string{o.Str}, nil
+	case xqast.OperandNumber:
+		return []string{xqvalue.FormatNumber(o.Num)}, nil
+	case xqast.OperandPath:
+		return e.pathValues(o.Path, env)
+	default:
+		return nil, fmt.Errorf("engine: unknown operand kind %d", o.Kind)
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWhereClause: where is sugar for a conditional body; streaming
+// behaviour matches the explicit if.
+func TestWhereClause(t *testing.T) {
+	const doc = `<bib><book year="2000"><title>A</title></book><book year="1990"><title>B</title></book></bib>`
+	sugar, _, _ := run(t, `<out>{ for $b in /bib/book where $b/@year >= 2000 return $b/title }</out>`, doc, Config{})
+	explicit, _, _ := run(t, `<out>{ for $b in /bib/book return if ($b/@year >= 2000) then $b/title else () }</out>`, doc, Config{})
+	if sugar != explicit {
+		t.Fatalf("where sugar diverges: %q vs %q", sugar, explicit)
+	}
+	if sugar != `<out><title>A</title></out>` {
+		t.Fatalf("output = %q", sugar)
+	}
+}
+
+// TestAttributeTemplates: computed constructor attributes (the original
+// XMark Q13 shape).
+func TestAttributeTemplates(t *testing.T) {
+	const q = `<out>{ for $i in /regions/item return
+	   <item name="{$i/name/text()}" id="{$i/@id}">{ $i/price }</item> }</out>`
+	const doc = `<regions>` +
+		`<item id="i1"><name>Gold Watch</name><price>90</price></item>` +
+		`<item id="i2"><name>Silver</name><price>5</price></item>` +
+		`</regions>`
+	out, res, _ := run(t, q, doc, Config{})
+	want := `<out><item name="Gold Watch" id="i1"><price>90</price></item>` +
+		`<item name="Silver" id="i2"><price>5</price></item></out>`
+	if out != want {
+		t.Fatalf("got %q\nwant %q", out, want)
+	}
+	if res.FinalBufferedNodes != 0 {
+		t.Fatal("buffer must drain")
+	}
+}
+
+// TestAttributeTemplateMultipleValues: several selected nodes join with
+// spaces (XQuery attribute content rule).
+func TestAttributeTemplateMultipleValues(t *testing.T) {
+	const q = `<out>{ for $a in /d/a return <w k="{$a/v}"/> }</out>`
+	const doc = `<d><a><v>1</v><v>2</v><v>3</v></a></d>`
+	out, _, _ := run(t, q, doc, Config{})
+	if out != `<out><w k="1 2 3"></w></out>` {
+		t.Fatalf("got %q", out)
+	}
+}
+
+// TestAggregateFamily: sum/min/max/avg stream with node-count-bounded
+// buffers and produce the expected numbers.
+func TestAggregateFamily(t *testing.T) {
+	const doc = `<as><a><p>3</p><p>1.5</p><p>2</p></a><a></a></as>`
+	cases := map[string]string{
+		`<o>{ for $a in /as/a return <c>{count($a/p)}</c> }</o>`: `<o><c>3</c><c>0</c></o>`,
+		`<o>{ for $a in /as/a return <c>{sum($a/p)}</c> }</o>`:   `<o><c>6.5</c><c>0</c></o>`,
+		`<o>{ for $a in /as/a return <c>{min($a/p)}</c> }</o>`:   `<o><c>1.5</c><c></c></o>`,
+		`<o>{ for $a in /as/a return <c>{max($a/p)}</c> }</o>`:   `<o><c>3</c><c></c></o>`,
+		`<o>{ for $a in /as/a return <c>{avg($a/p)}</c> }</o>`:   `<o><c>2.1666666666666665</c><c></c></o>`,
+	}
+	for q, want := range cases {
+		got, _, _ := run(t, q, doc, Config{EnableAggregation: true})
+		if got != want {
+			t.Errorf("%s\n got %q\nwant %q", q, got, want)
+		}
+	}
+}
+
+// TestAggregatesRequireOptIn: every aggregate is gated, not just count.
+func TestAggregatesRequireOptIn(t *testing.T) {
+	plan := compile(t, `<o>{ sum(/a/b) }</o>`)
+	var sb strings.Builder
+	if _, err := New(plan, strings.NewReader(`<a><b>1</b></a>`), &sb, Config{}).Run(); err == nil {
+		t.Fatal("sum() must require EnableAggregation")
+	}
+}
+
+// TestCountOverAttributes: count($x/@id) counts attribute presence.
+func TestCountOverAttributes(t *testing.T) {
+	const q = `<o>{ count(/d/a/@id) }</o>`
+	const doc = `<d><a id="1"/><a/><a id="2"/></d>`
+	out, _, _ := run(t, q, doc, Config{EnableAggregation: true})
+	if out != `<o>2</o>` {
+		t.Fatalf("got %q", out)
+	}
+}
+
+// TestSumStreamsWithBoundedBuffer: per-iteration aggregates release
+// their inputs each round.
+func TestSumStreamsWithBoundedBuffer(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<as>")
+	for i := 0; i < 200; i++ {
+		b.WriteString(`<a><p>1</p><p>2</p></a>`)
+	}
+	b.WriteString("</as>")
+	_, res, _ := run(t, `<o>{ for $a in /as/a return sum($a/p) }</o>`, b.String(),
+		Config{EnableAggregation: true})
+	if res.PeakBufferedNodes > 12 {
+		t.Fatalf("peak = %d; aggregates must not accumulate across iterations", res.PeakBufferedNodes)
+	}
+}

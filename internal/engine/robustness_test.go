@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// TestOneByteReader: the engine must behave identically when the input
+// arrives one byte at a time (no hidden buffering assumptions).
+func TestOneByteReader(t *testing.T) {
+	doc := fig3Doc(repeatKinds("book", 4, "article"))
+	plan := compile(t, PaperQuery)
+
+	var whole bytes.Buffer
+	if _, err := New(plan, strings.NewReader(doc), &whole, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	var chunked bytes.Buffer
+	e := New(plan, iotest.OneByteReader(strings.NewReader(doc)), &chunked, Config{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.String() != chunked.String() {
+		t.Fatalf("outputs differ under chunked reads:\n%q\n%q", whole.String(), chunked.String())
+	}
+	if res.FinalBufferedNodes != 0 {
+		t.Fatal("buffer must drain")
+	}
+}
+
+// TestInputErrorPropagates: a reader failure mid-stream surfaces as an
+// error, not a truncated success.
+func TestInputErrorPropagates(t *testing.T) {
+	doc := fig3Doc(repeatKinds("book", 4, "article"))
+	broken := io.MultiReader(
+		strings.NewReader(doc[:40]),
+		iotest.ErrReader(errors.New("disk gone")),
+	)
+	plan := compile(t, PaperQuery)
+	var out bytes.Buffer
+	_, err := New(plan, broken, &out, Config{}).Run()
+	if err == nil || !strings.Contains(err.Error(), "disk gone") {
+		t.Fatalf("want propagated read error, got %v", err)
+	}
+}
+
+// TestTruncatedInputFails: well-formedness violations mid-query are
+// reported.
+func TestTruncatedInputFails(t *testing.T) {
+	doc := fig3Doc(repeatKinds("book", 4, "article"))
+	plan := compile(t, PaperQuery)
+	var out bytes.Buffer
+	_, err := New(plan, strings.NewReader(doc[:len(doc)/2]), &out, Config{}).Run()
+	if err == nil {
+		t.Fatal("truncated document must fail")
+	}
+}
+
+// TestWriteErrorSurfaces: output failures are reported by Run (via the
+// serializer's sticky error at flush).
+func TestWriteErrorSurfaces(t *testing.T) {
+	doc := fig3Doc(repeatKinds("book", 4, "article"))
+	plan := compile(t, PaperQuery)
+	w := &failingWriter{failAfter: 0} // fail on the first flush
+	_, err := New(plan, strings.NewReader(doc), w, Config{}).Run()
+	if err == nil {
+		t.Fatal("write error must surface")
+	}
+}
+
+type failingWriter struct {
+	n         int
+	failAfter int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > w.failAfter {
+		return 0, errors.New("pipe closed")
+	}
+	return len(p), nil
+}
+
+// TestDeeplyNestedDocument: recursion depth and pin discipline hold on
+// pathological nesting.
+func TestDeeplyNestedDocument(t *testing.T) {
+	const depth = 2000
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	b.WriteString("<leaf/>")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	out, res, _ := run(t, `<o>{ for $l in /descendant::leaf return "found" }</o>`, b.String(), Config{})
+	if out != `<o>found</o>` {
+		t.Fatalf("got %q", out)
+	}
+	if res.FinalBufferedNodes != 0 {
+		t.Fatal("buffer must drain")
+	}
+}
+
+// TestManySiblings: wide documents stream in constant memory.
+func TestManySiblings(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<l>")
+	for i := 0; i < 5000; i++ {
+		b.WriteString("<v>x</v>")
+	}
+	b.WriteString("</l>")
+	_, res, _ := run(t, `<o>{ for $v in /l/v return $v/text() }</o>`, b.String(), Config{})
+	if res.PeakBufferedNodes > 8 {
+		t.Fatalf("peak = %d nodes for a streamable scan", res.PeakBufferedNodes)
+	}
+}
+
+// TestEmptyDocumentElementOnly: minimal inputs work across the engine.
+func TestEmptyDocumentElementOnly(t *testing.T) {
+	out, _, _ := run(t, `<o>{ for $x in /a return "y" }</o>`, `<a/>`, Config{})
+	if out != `<o>y</o>` {
+		t.Fatalf("got %q", out)
+	}
+}

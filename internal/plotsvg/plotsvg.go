@@ -1,0 +1,131 @@
+// Package plotsvg renders buffer plots as standalone SVG images —
+// regenerating the paper's Figures 3(b,c) and 4(a,b) as actual
+// pictures. Pure stdlib; the output is deliberately gnuplot-plain:
+// axes, ticks, one polyline per series.
+package plotsvg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gcx/internal/stats"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// Config controls the rendering.
+type Config struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // default 720
+	Height int // default 420
+}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 50
+)
+
+// Render writes the SVG document for the series.
+func Render(w io.Writer, cfg Config, series ...Series) error {
+	if cfg.Width <= 0 {
+		cfg.Width = 720
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 420
+	}
+	var maxX, maxY int64 = 1, 1
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Token > maxX {
+				maxX = p.Token
+			}
+			if p.Nodes > maxY {
+				maxY = p.Nodes
+			}
+		}
+	}
+
+	plotW := float64(cfg.Width - marginLeft - marginRight)
+	plotH := float64(cfg.Height - marginTop - marginBottom)
+	xpos := func(t int64) float64 { return marginLeft + float64(t)/float64(maxX)*plotW }
+	ypos := func(n int64) float64 {
+		return float64(cfg.Height-marginBottom) - float64(n)/float64(maxY)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		cfg.Width, cfg.Height, cfg.Width, cfg.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", cfg.Width, cfg.Height)
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+			cfg.Width/2, escape(cfg.Title))
+	}
+
+	// axes
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, cfg.Height-marginBottom, cfg.Width-marginRight, cfg.Height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, cfg.Height-marginBottom)
+
+	// ticks: five per axis
+	for i := 0; i <= 5; i++ {
+		xv := maxX * int64(i) / 5
+		x := xpos(xv)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, cfg.Height-marginBottom, x, cfg.Height-marginBottom+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%d</text>`+"\n",
+			x, cfg.Height-marginBottom+18, xv)
+		yv := maxY * int64(i) / 5
+		y := ypos(yv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginLeft-5, y, marginLeft, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%d</text>`+"\n",
+			marginLeft-8, y+4, yv)
+	}
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+int(plotW/2), cfg.Height-12, escape(cfg.XLabel))
+	}
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			marginTop+int(plotH/2), marginTop+int(plotH/2), escape(cfg.YLabel))
+	}
+
+	colors := []string{"#d62728", "#1f77b4", "#2ca02c", "#9467bd"}
+	for si, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		var pts strings.Builder
+		for i, p := range s.Points {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", xpos(p.Token), ypos(p.Nodes))
+		}
+		color := colors[si%len(colors)]
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			pts.String(), color)
+		if s.Name != "" {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" fill="%s">%s</text>`+"\n",
+				cfg.Width-marginRight-150, marginTop+18*si, color, escape(s.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,78 @@
+package plotsvg
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"gcx/internal/stats"
+	"gcx/internal/xmltok"
+)
+
+func series(n int) Series {
+	s := Series{Name: "buffer"}
+	for i := 0; i < n; i++ {
+		s.Points = append(s.Points, stats.Point{Token: int64(i + 1), Nodes: int64(i % 7)})
+	}
+	return s
+}
+
+func TestRenderWellFormed(t *testing.T) {
+	var b strings.Builder
+	err := Render(&b, Config{Title: "Fig 3(c)", XLabel: "tokens", YLabel: "nodes"}, series(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// the output must be well-formed XML (validated with our own tokenizer)
+	tz := xmltok.NewTokenizer(strings.NewReader(out))
+	for {
+		_, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "Fig 3(c)", "tokens", "nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	var b strings.Builder
+	s2 := series(30)
+	s2.Name = "second"
+	if err := Render(&b, Config{}, series(50), s2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "<polyline") != 2 {
+		t.Fatal("two series must give two polylines")
+	}
+	if !strings.Contains(b.String(), "second") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderEmptySeries(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, Config{}, Series{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "polyline") {
+		t.Fatal("empty series must not draw")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, Config{Title: "a<b & c"}, series(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "a&lt;b &amp; c") {
+		t.Fatal("title not escaped")
+	}
+}

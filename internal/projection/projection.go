@@ -1,0 +1,327 @@
+// Package projection implements the GCX stream preprojector (paper
+// Fig. 2): it reads the input token stream, matches every token against
+// the projection paths derived by static analysis, and copies matched
+// nodes — annotated with roles — into the buffer. Unmatched tokens are
+// discarded on the fly, with a lookahead of one token.
+//
+// Matching is NFA-style: every open element carries a set of active
+// items (role, next-step index, derivation count). Descendant-axis items
+// propagate down the stack, which is how a single node can be assigned
+// the same role several times (one per derivation), exactly as the
+// paper's multiset role semantics requires.
+package projection
+
+import (
+	"io"
+
+	"gcx/internal/buffer"
+	"gcx/internal/xmltok"
+	"gcx/internal/xpath"
+)
+
+// item is an active matching position: role's path has matched a prefix
+// and expects Steps[step] next.
+type item struct {
+	role  int
+	step  int
+	count int
+	// used is the shared first-witness latch for steps with FirstOnly:
+	// all propagated copies of the item share it, so at most one node
+	// per context is matched.
+	used *bool
+}
+
+// frame is the matcher state of one open element.
+type frame struct {
+	name  string
+	attrs []xmltok.Attr
+	// isRoot marks the virtual-root frame, which is matched by node()
+	// tests only (never by name or wildcard tests).
+	isRoot bool
+	// node is the buffered node, or nil while the element is unmatched
+	// (it may later be materialized as a skeleton ancestor).
+	node  *buffer.Node
+	items []item
+}
+
+// matchesSelf applies a node test to the frame's own node.
+func (f *frame) matchesSelf(test xpath.Test) bool {
+	if f.isRoot {
+		return test.Kind == xpath.TestNode
+	}
+	return test.MatchesElement(f.name)
+}
+
+// Preprojector drives the tokenizer and fills the buffer.
+type Preprojector struct {
+	tz    *xmltok.Tokenizer
+	buf   *buffer.Buffer
+	steps [][]xpath.Step // role id → compiled steps
+	stack []frame
+	eof   bool
+
+	// OnToken, if set, is invoked after every processed token — the
+	// hook used to record the paper's buffer plots.
+	OnToken func()
+}
+
+// New builds a preprojector for the given role projection paths (role id
+// = slice index). Roles with empty paths (the paper's r1, "/") are
+// assigned to the virtual root immediately.
+func New(tz *xmltok.Tokenizer, buf *buffer.Buffer, rolePaths []xpath.Path) *Preprojector {
+	p := &Preprojector{
+		tz:    tz,
+		buf:   buf,
+		steps: make([][]xpath.Step, len(rolePaths)),
+	}
+	root := frame{node: buf.Root, isRoot: true}
+	var done completion
+	for role, path := range rolePaths {
+		if path.EndsWithAttribute() {
+			panic("projection: attribute step in projection path " + path.String())
+		}
+		p.steps[role] = path.Steps
+		// Resolve leading self / descendant-or-self steps against the
+		// virtual root so projection-side and buffer-side matching
+		// agree (the root is matched by node() only).
+		p.advance(&root, item{role: role, step: 0, count: 1}, &done)
+	}
+	for role, count := range done.counts {
+		for i := 0; i < count; i++ {
+			buf.AssignRole(buf.Root, role)
+		}
+	}
+	p.stack = append(p.stack, root)
+	return p
+}
+
+// TokensProcessed reports the number of input tokens consumed.
+func (p *Preprojector) TokensProcessed() int64 { return p.tz.TokenCount() }
+
+// EOF reports whether the input is exhausted.
+func (p *Preprojector) EOF() bool { return p.eof }
+
+// Step processes exactly one input token. It returns false when the
+// input is exhausted.
+func (p *Preprojector) Step() (bool, error) {
+	if p.eof {
+		return false, nil
+	}
+	tok, err := p.tz.Next()
+	if err == io.EOF {
+		p.eof = true
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	switch tok.Kind {
+	case xmltok.StartElement:
+		p.startElement(tok)
+	case xmltok.EndElement:
+		p.endElement()
+	case xmltok.Text:
+		p.text(tok)
+	}
+	if p.OnToken != nil {
+		p.OnToken()
+	}
+	return true, nil
+}
+
+// Run processes tokens until EOF (used by the projection-only baseline
+// and tests; the GCX engine pulls token by token instead).
+func (p *Preprojector) Run() error {
+	for {
+		ok, err := p.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// completion accumulates roles completed at the current token.
+type completion struct {
+	roles  []int // repeated per instance
+	counts map[int]int
+}
+
+func (c *completion) add(role, count int) {
+	if c.counts == nil {
+		c.counts = make(map[int]int, 2)
+	}
+	c.counts[role] += count
+}
+
+func (p *Preprojector) startElement(tok xmltok.Token) {
+	parent := &p.stack[len(p.stack)-1]
+	nf := frame{name: tok.Name, attrs: tok.Attrs}
+	var done completion
+
+	for i := range parent.items {
+		it := &parent.items[i]
+		step := p.steps[it.role][it.step]
+		switch step.Axis {
+		case xpath.Child:
+			if step.FirstOnly && *it.used {
+				continue
+			}
+			if step.Test.MatchesElement(tok.Name) {
+				if step.FirstOnly {
+					*it.used = true
+				}
+				p.advance(&nf, item{role: it.role, step: it.step + 1, count: it.count}, &done)
+			}
+		case xpath.Descendant, xpath.DescendantOrSelf:
+			// The self part of descendant-or-self was consumed when the
+			// item was created (see advance); for children both axes
+			// search the whole remaining subtree.
+			if step.FirstOnly && *it.used {
+				continue
+			}
+			// keep searching deeper
+			nf.items = append(nf.items, *it)
+			if step.Test.MatchesElement(tok.Name) {
+				if step.FirstOnly {
+					*it.used = true
+				}
+				p.advance(&nf, item{role: it.role, step: it.step + 1, count: it.count}, &done)
+			}
+		default:
+			// Self axis items are resolved eagerly in advance; Attribute
+			// never occurs in projection paths.
+		}
+	}
+
+	if len(done.counts) > 0 {
+		nf.node = p.materialize(tok.Name, tok.Attrs)
+		for role, count := range done.counts {
+			for i := 0; i < count; i++ {
+				p.buf.AssignRole(nf.node, role)
+			}
+		}
+	}
+	p.stack = append(p.stack, nf)
+}
+
+// advance places item it into frame nf, resolving steps that can match
+// the frame's own node without consuming input (Self and the self part
+// of DescendantOrSelf). Completed roles are recorded in done.
+func (p *Preprojector) advance(nf *frame, it item, done *completion) {
+	steps := p.steps[it.role]
+	if it.step >= len(steps) {
+		// Path fully matched: the role completes at this node.
+		done.add(it.role, it.count)
+		return
+	}
+	step := steps[it.step]
+	if step.FirstOnly && it.used == nil {
+		it.used = new(bool)
+	}
+	switch step.Axis {
+	case xpath.Self:
+		if nf.matchesSelf(step.Test) {
+			p.advance(nf, item{role: it.role, step: it.step + 1, count: it.count}, done)
+		}
+	case xpath.DescendantOrSelf:
+		// self part now …
+		if nf.matchesSelf(step.Test) {
+			if step.FirstOnly {
+				*it.used = true
+			}
+			p.advance(nf, item{role: it.role, step: it.step + 1, count: it.count}, done)
+		}
+		// … and the descendant part stays active for the children.
+		if !(step.FirstOnly && *it.used) {
+			nf.items = append(nf.items, it)
+		}
+	default:
+		nf.items = append(nf.items, it)
+	}
+}
+
+func (p *Preprojector) endElement() {
+	top := p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+	if top.node != nil {
+		p.buf.CloseNode(top.node)
+	}
+}
+
+func (p *Preprojector) text(tok xmltok.Token) {
+	top := &p.stack[len(p.stack)-1]
+	var done completion
+	for i := range top.items {
+		it := &top.items[i]
+		steps := p.steps[it.role]
+		step := steps[it.step]
+		if step.FirstOnly && *it.used {
+			continue
+		}
+		switch step.Axis {
+		case xpath.Child, xpath.Descendant, xpath.DescendantOrSelf:
+			// Text nodes are leaves, so the role completes here only if
+			// any remaining steps are satisfied by the text node itself
+			// (self / descendant-or-self tails, as in
+			// …/text()/descendant-or-self::node()).
+			if step.Test.MatchesText() && textTail(steps, it.step+1) {
+				if step.FirstOnly {
+					*it.used = true
+				}
+				done.add(it.role, it.count)
+			}
+		}
+	}
+	if len(done.counts) == 0 {
+		return
+	}
+	parent := p.materializeStack()
+	n := p.buf.AppendText(parent, tok.Text)
+	for role, count := range done.counts {
+		for i := 0; i < count; i++ {
+			p.buf.AssignRole(n, role)
+		}
+	}
+}
+
+// textTail reports whether the remaining steps can all be consumed by a
+// text node without moving: each must be a self or descendant-or-self
+// step whose test matches text. This mirrors the buffer-side evaluation,
+// where descendant-or-self from a leaf matches the leaf itself.
+func textTail(steps []xpath.Step, from int) bool {
+	for _, s := range steps[from:] {
+		if s.Axis != xpath.Self && s.Axis != xpath.DescendantOrSelf {
+			return false
+		}
+		if !s.Test.MatchesText() {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize returns the buffer node for a new element completing a
+// role: it ensures all open ancestors are buffered (creating role-less
+// skeleton nodes as needed to preserve tree structure) and appends the
+// element itself.
+func (p *Preprojector) materialize(name string, attrs []xmltok.Attr) *buffer.Node {
+	parent := p.materializeStack()
+	return p.buf.AppendElement(parent, name, attrs)
+}
+
+// materializeStack ensures every open element on the stack has a buffer
+// node and returns the innermost one.
+func (p *Preprojector) materializeStack() *buffer.Node {
+	// find deepest already-materialized ancestor
+	i := len(p.stack) - 1
+	for p.stack[i].node == nil {
+		i--
+	}
+	for j := i + 1; j < len(p.stack); j++ {
+		p.stack[j].node = p.buf.AppendElement(p.stack[j-1].node, p.stack[j].name, p.stack[j].attrs)
+	}
+	return p.stack[len(p.stack)-1].node
+}

@@ -1,0 +1,331 @@
+package projection
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/buffer"
+	"gcx/internal/xmltok"
+	"gcx/internal/xpath"
+)
+
+// paperRoles builds the seven projection paths of the paper's running
+// example (§2), in paper order: r1=/, r2=/bib, r3=/bib/*,
+// r4=/bib/*/price[1], r5=/bib/*/descendant-or-self::node(),
+// r6=/bib/book, r7=/bib/book/title/descendant-or-self::node().
+func paperRoles() []xpath.Path {
+	bib := xpath.ChildStep("bib")
+	star := xpath.WildcardStep()
+	price1 := xpath.Step{Axis: xpath.Child, Test: xpath.Test{Kind: xpath.TestName, Name: "price"}, FirstOnly: true}
+	book := xpath.ChildStep("book")
+	title := xpath.ChildStep("title")
+	dos := xpath.DescendantOrSelfNodeStep()
+	return []xpath.Path{
+		{},                               // r1
+		{Steps: []xpath.Step{bib}},       // r2
+		{Steps: []xpath.Step{bib, star}}, // r3
+		{Steps: []xpath.Step{bib, star, price1}},
+		{Steps: []xpath.Step{bib, star, dos}},
+		{Steps: []xpath.Step{bib, book}},
+		{Steps: []xpath.Step{bib, book, title, dos}},
+	}
+}
+
+func project(t *testing.T, doc string, roles []xpath.Path) *buffer.Buffer {
+	t.Helper()
+	buf := buffer.New()
+	p := New(xmltok.NewTokenizer(strings.NewReader(doc)), buf, roles)
+	if err := p.Run(); err != nil {
+		t.Fatalf("projection failed: %v", err)
+	}
+	if err := buf.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after projection: %v\n%s", err, buf.Dump(nil))
+	}
+	return buf
+}
+
+// findChild returns the i-th element child named name.
+func findChild(n *buffer.Node, name string, idx int) *buffer.Node {
+	count := 0
+	for c := n.FirstChild; c != nil; c = c.NextSib {
+		if c.Kind == buffer.KindElement && c.Name == name {
+			if count == idx {
+				return c
+			}
+			count++
+		}
+	}
+	return nil
+}
+
+// TestPaperFigure1RoleAssignment reproduces Figure 1(a): projecting
+// <bib><book><title/><author/></book> with the example's roles yields
+// bib{r2}, book{r3,r5,r6}, title{r5,r7}, author{r5}.
+func TestPaperFigure1RoleAssignment(t *testing.T) {
+	buf := project(t, `<bib><book><title/><author/></book></bib>`, paperRoles())
+	if buf.Root.RoleCount(0) != 1 {
+		t.Error("virtual root should carry r1")
+	}
+	bib := findChild(buf.Root, "bib", 0)
+	if bib == nil || bib.RoleCount(1) != 1 || bib.RoleTotal() != 1 {
+		t.Fatalf("bib roles wrong: %v", bib.Roles())
+	}
+	book := findChild(bib, "book", 0)
+	if book == nil {
+		t.Fatal("book not buffered")
+	}
+	for _, role := range []int{2, 4, 5} { // r3, r5, r6
+		if book.RoleCount(role) != 1 {
+			t.Errorf("book missing r%d", role+1)
+		}
+	}
+	if book.RoleTotal() != 3 {
+		t.Errorf("book role total = %d, want 3", book.RoleTotal())
+	}
+	title := findChild(book, "title", 0)
+	if title == nil || title.RoleCount(4) != 1 || title.RoleCount(6) != 1 || title.RoleTotal() != 2 {
+		t.Fatalf("title roles wrong: %v", title.Roles())
+	}
+	author := findChild(book, "author", 0)
+	if author == nil || author.RoleCount(4) != 1 || author.RoleTotal() != 1 {
+		t.Fatalf("author roles wrong: %v", author.Roles())
+	}
+	// 4 buffered nodes: bib, book, title, author.
+	if buf.CurrentNodes != 4 {
+		t.Fatalf("CurrentNodes = %d, want 4", buf.CurrentNodes)
+	}
+}
+
+// TestFirstWitnessOnlyFirstPrice checks r4's [1] predicate: only the
+// first price child per /bib/* node receives r4.
+func TestFirstWitnessOnlyFirstPrice(t *testing.T) {
+	buf := project(t, `<bib><book><price>1</price><price>2</price></book><article><price>3</price></article></bib>`, paperRoles())
+	bib := findChild(buf.Root, "bib", 0)
+	book := findChild(bib, "book", 0)
+	p0 := findChild(book, "price", 0)
+	p1 := findChild(book, "price", 1)
+	if p0.RoleCount(3) != 1 {
+		t.Error("first price must carry r4")
+	}
+	if p1.RoleCount(3) != 0 {
+		t.Error("second price must not carry r4")
+	}
+	art := findChild(bib, "article", 0)
+	ap := findChild(art, "price", 0)
+	if ap.RoleCount(3) != 1 {
+		t.Error("the [1] latch is per context node: article's price gets r4")
+	}
+}
+
+// TestUnmatchedNodesNotBuffered: tokens outside all projection paths are
+// discarded.
+func TestUnmatchedNodesNotBuffered(t *testing.T) {
+	roles := []xpath.Path{
+		{Steps: []xpath.Step{xpath.ChildStep("site")}},
+		{Steps: []xpath.Step{xpath.ChildStep("site"), xpath.ChildStep("people")}},
+	}
+	buf := project(t, `<site><regions><item/><item/></regions><people/></site>`, roles)
+	if buf.TotalAppended != 2 {
+		t.Fatalf("TotalAppended = %d, want 2 (site, people)\n%s", buf.TotalAppended, buf.Dump(nil))
+	}
+	site := findChild(buf.Root, "site", 0)
+	if findChild(site, "regions", 0) != nil {
+		t.Fatal("regions should not be buffered")
+	}
+}
+
+// TestSkeletonMaterialization: a deep match forces role-less structural
+// ancestors into the buffer, which die with their matched descendants.
+func TestSkeletonMaterialization(t *testing.T) {
+	roles := []xpath.Path{
+		{Steps: []xpath.Step{
+			xpath.ChildStep("a"),
+			{Axis: xpath.Descendant, Test: xpath.Test{Kind: xpath.TestName, Name: "c"}},
+		}},
+	}
+	buf := project(t, `<a><skel1><skel2><c/></skel2></skel1></a>`, roles)
+	a := findChild(buf.Root, "a", 0)
+	if a == nil {
+		t.Fatal("a not buffered")
+	}
+	s1 := findChild(a, "skel1", 0)
+	if s1 == nil {
+		t.Fatal("skeleton ancestor skel1 missing")
+	}
+	if s1.RoleTotal() != 0 {
+		t.Fatal("skeleton must carry no roles")
+	}
+	s2 := findChild(s1, "skel2", 0)
+	c := findChild(s2, "c", 0)
+	if c == nil || c.RoleCount(0) != 1 {
+		t.Fatal("c must be buffered with the role")
+	}
+	// Removing c's role purges the whole skeleton chain.
+	buf.RemoveRole(c, 0, 1)
+	if a.InBuffer() {
+		// a itself carried only role-lessness + closedness
+		t.Fatal("skeleton chain should be purged with c")
+	}
+	if buf.CurrentNodes != 0 {
+		t.Fatalf("CurrentNodes = %d, want 0", buf.CurrentNodes)
+	}
+}
+
+// TestDescendantMultiplicity: nested matches yield multiple instances of
+// the same role on one node (paper §2).
+func TestDescendantMultiplicity(t *testing.T) {
+	roles := []xpath.Path{
+		{Steps: []xpath.Step{
+			{Axis: xpath.Descendant, Test: xpath.Test{Kind: xpath.TestName, Name: "s"}},
+			xpath.DescendantOrSelfNodeStep(),
+		}},
+	}
+	buf := project(t, `<doc><s><s><x/></s></s></doc>`, roles)
+	doc := findChild(buf.Root, "doc", 0)
+	s1 := findChild(doc, "s", 0)
+	s2 := findChild(s1, "s", 0)
+	x := findChild(s2, "x", 0)
+	if s1.RoleCount(0) != 1 {
+		t.Errorf("outer s count = %d, want 1", s1.RoleCount(0))
+	}
+	if s2.RoleCount(0) != 2 {
+		t.Errorf("inner s count = %d, want 2 (self + descendant of outer)", s2.RoleCount(0))
+	}
+	if x.RoleCount(0) != 2 {
+		t.Errorf("x count = %d, want 2", x.RoleCount(0))
+	}
+	// Buffer-side evaluation agrees with projection-side assignment:
+	removed := buf.SignOffNow(buf.Root, roles[0], 0)
+	if removed != 5 {
+		t.Fatalf("sign-off removed %d instances, want 5 (1+2+2)", removed)
+	}
+	if err := buf.CheckBalance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTextProjection: text nodes are buffered only when a final step
+// matches them.
+func TestTextProjection(t *testing.T) {
+	roles := []xpath.Path{
+		{Steps: []xpath.Step{xpath.ChildStep("a")}}, // element only
+		{Steps: []xpath.Step{xpath.ChildStep("a"), xpath.ChildStep("name"), {Axis: xpath.Child, Test: xpath.Test{Kind: xpath.TestText}}}}, // text()
+		{Steps: []xpath.Step{xpath.ChildStep("a"), xpath.ChildStep("name")}},
+	}
+	buf := project(t, `<a>loose<name>kept</name></a>`, roles)
+	a := findChild(buf.Root, "a", 0)
+	// "loose" is not matched by any path → not buffered.
+	for c := a.FirstChild; c != nil; c = c.NextSib {
+		if c.Kind == buffer.KindText {
+			t.Fatalf("unmatched text %q buffered", c.Text)
+		}
+	}
+	name := findChild(a, "name", 0)
+	txt := name.FirstChild
+	if txt == nil || txt.Kind != buffer.KindText || txt.Text != "kept" {
+		t.Fatal("matched text missing")
+	}
+	if txt.RoleCount(1) != 1 {
+		t.Fatal("text role missing")
+	}
+}
+
+// TestRootRoleAndKeepAllPath: the keep-all path /descendant-or-self::
+// node() (the "no projection" ablation) buffers every node, and the
+// virtual root receives the role too — consistently with buffer-side
+// evaluation, so the final sign-off balances.
+func TestRootRoleAndKeepAllPath(t *testing.T) {
+	keepAll := []xpath.Path{{Steps: []xpath.Step{xpath.DescendantOrSelfNodeStep()}}}
+	doc := `<a><b>t1</b><c><d/>t2</c></a>`
+	buf := project(t, doc, keepAll)
+	// nodes: a, b, t1, c, d, t2 = 6
+	if buf.CurrentNodes != 6 {
+		t.Fatalf("CurrentNodes = %d, want 6\n%s", buf.CurrentNodes, buf.Dump(nil))
+	}
+	if buf.Root.RoleCount(0) != 1 {
+		t.Fatal("root must carry the keep-all role (matched by self part)")
+	}
+	removed := buf.SignOffNow(buf.Root, keepAll[0], 0)
+	if removed != 7 {
+		t.Fatalf("removed %d, want 7 (6 nodes + root)", removed)
+	}
+	if err := buf.CheckBalance(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.CurrentNodes != 0 {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+// TestAttributesTravelWithElements: attributes are stored on buffered
+// nodes without needing roles of their own.
+func TestAttributesTravelWithElements(t *testing.T) {
+	roles := []xpath.Path{{Steps: []xpath.Step{xpath.ChildStep("p")}}}
+	buf := project(t, `<p id="p1" income="95000"/>`, roles)
+	p := findChild(buf.Root, "p", 0)
+	if v, ok := p.Attr("id"); !ok || v != "p1" {
+		t.Fatal("attribute id missing")
+	}
+	if v, ok := p.Attr("income"); !ok || v != "95000" {
+		t.Fatal("attribute income missing")
+	}
+}
+
+// TestBufferPlotShape replays the Fig. 3 document prefix and verifies
+// token accounting.
+func TestTokenAccounting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < 10; i++ {
+		b.WriteString("<book><author/><title/><price/></book>")
+	}
+	b.WriteString("</bib>")
+	buf := buffer.New()
+	p := New(xmltok.NewTokenizer(strings.NewReader(b.String())), buf, paperRoles())
+	ticks := 0
+	p.OnToken = func() { ticks++ }
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 82 || p.TokensProcessed() != 82 {
+		t.Fatalf("tokens = %d/%d, want 82", ticks, p.TokensProcessed())
+	}
+	if !p.EOF() {
+		t.Fatal("EOF not reported")
+	}
+	// every node matched (books match r3/r5/r6, children r5, etc.)
+	if buf.CurrentNodes != 41 {
+		t.Fatalf("CurrentNodes = %d, want 41", buf.CurrentNodes)
+	}
+}
+
+// TestStepByStepProcessing: Step processes exactly one token.
+func TestStepByStepProcessing(t *testing.T) {
+	buf := buffer.New()
+	p := New(xmltok.NewTokenizer(strings.NewReader(`<bib><book/></bib>`)), buf, paperRoles())
+	counts := []int64{}
+	for {
+		ok, err := p.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		counts = append(counts, buf.CurrentNodes)
+	}
+	// <bib> → 1 node, <book> → 2, </book> → 2, </bib> → 2
+	want := []int64{1, 2, 2, 2}
+	if len(counts) != len(want) {
+		t.Fatalf("processed %d tokens, want %d", len(counts), len(want))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("after token %d: %d nodes, want %d", i+1, counts[i], want[i])
+		}
+	}
+	// further Steps keep returning false
+	if ok, _ := p.Step(); ok {
+		t.Fatal("Step after EOF should return false")
+	}
+}

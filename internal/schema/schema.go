@@ -1,0 +1,107 @@
+// Package schema models DTD-style content ordering: for each element,
+// the ordered list of child element names it may contain. The paper's
+// schema-based comparator (FluXQuery) exploits exactly this kind of
+// information; here it serves two purposes:
+//
+//   - validating that the XMark-like generator emits children in the
+//     declared order (so order-dependent experiments are trustworthy);
+//   - documenting the structure the adapted benchmark queries rely on.
+package schema
+
+import (
+	"fmt"
+	"io"
+
+	"gcx/internal/xmltok"
+)
+
+// Schema maps an element name to its ordered child-element vocabulary.
+// Children may repeat and be omitted, but must appear in declared
+// relative order (a simplified DTD sequence model with optional,
+// repeatable groups). Elements not present in the map accept anything.
+type Schema struct {
+	children map[string][]string
+	pos      map[string]map[string]int
+}
+
+// New builds a Schema from the element → ordered-children table.
+func New(children map[string][]string) *Schema {
+	s := &Schema{children: children, pos: make(map[string]map[string]int, len(children))}
+	for parent, kids := range children {
+		m := make(map[string]int, len(kids))
+		for i, k := range kids {
+			m[k] = i
+		}
+		s.pos[parent] = m
+	}
+	return s
+}
+
+// ChildPos returns the declared position of child under parent, and
+// whether the pair is declared at all.
+func (s *Schema) ChildPos(parent, child string) (int, bool) {
+	m, ok := s.pos[parent]
+	if !ok {
+		return 0, false
+	}
+	p, ok := m[child]
+	return p, ok
+}
+
+// Declares reports whether parent constrains its children.
+func (s *Schema) Declares(parent string) bool {
+	_, ok := s.children[parent]
+	return ok
+}
+
+// ValidationError reports the first order or vocabulary violation.
+type ValidationError struct {
+	Parent string
+	Child  string
+	Offset int64 // token ordinal
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("schema: token %d: <%s> inside <%s>: %s", e.Offset, e.Child, e.Parent, e.Reason)
+}
+
+// Validate streams a document and checks every declared parent's
+// children against the schema's vocabulary and relative order.
+func (s *Schema) Validate(r io.Reader) error {
+	tz := xmltok.NewTokenizer(r)
+	type frame struct {
+		name    string
+		checked bool
+		lastPos int
+	}
+	stack := []frame{{name: "", checked: false}}
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch tok.Kind {
+		case xmltok.StartElement:
+			top := &stack[len(stack)-1]
+			if top.checked {
+				pos, ok := s.ChildPos(top.name, tok.Name)
+				if !ok {
+					return &ValidationError{Parent: top.name, Child: tok.Name,
+						Offset: tz.TokenCount(), Reason: "not in declared vocabulary"}
+				}
+				if pos < top.lastPos {
+					return &ValidationError{Parent: top.name, Child: tok.Name,
+						Offset: tz.TokenCount(), Reason: "out of declared order"}
+				}
+				top.lastPos = pos
+			}
+			stack = append(stack, frame{name: tok.Name, checked: s.Declares(tok.Name), lastPos: -1})
+		case xmltok.EndElement:
+			stack = stack[:len(stack)-1]
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return New(map[string][]string{
+		"book": {"title", "author", "price"},
+		"bib":  {"book", "article"},
+	})
+}
+
+func TestChildPos(t *testing.T) {
+	s := testSchema()
+	if p, ok := s.ChildPos("book", "author"); !ok || p != 1 {
+		t.Fatalf("author pos = %d, %v", p, ok)
+	}
+	if _, ok := s.ChildPos("book", "isbn"); ok {
+		t.Fatal("undeclared child accepted")
+	}
+	if _, ok := s.ChildPos("unknown", "x"); ok {
+		t.Fatal("undeclared parent accepted")
+	}
+	if !s.Declares("bib") || s.Declares("title") {
+		t.Fatal("Declares wrong")
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	s := testSchema()
+	docs := []string{
+		`<bib><book><title/><author/><price/></book></bib>`,
+		`<bib><book><title/><title/><price/></book><article/></bib>`, // repeats ok
+		`<bib><book/></bib>`, // omissions ok
+		`<bib><book><author/></book></bib>`,
+		`<other><anything/></other>`, // undeclared parents unconstrained
+		`<bib><book>text content is ignored</book></bib>`,
+	}
+	for _, doc := range docs {
+		if err := s.Validate(strings.NewReader(doc)); err != nil {
+			t.Errorf("Validate(%q) = %v, want nil", doc, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	s := testSchema()
+	cases := []struct {
+		doc    string
+		reason string
+	}{
+		{`<bib><book><author/><title/></book></bib>`, "out of declared order"},
+		{`<bib><book><isbn/></book></bib>`, "not in declared vocabulary"},
+		{`<bib><magazine/></bib>`, "not in declared vocabulary"},
+	}
+	for _, c := range cases {
+		err := s.Validate(strings.NewReader(c.doc))
+		if err == nil {
+			t.Errorf("Validate(%q): expected error", c.doc)
+			continue
+		}
+		ve, ok := err.(*ValidationError)
+		if !ok || !strings.Contains(ve.Reason, c.reason) {
+			t.Errorf("Validate(%q) = %v, want reason %q", c.doc, err, c.reason)
+		}
+	}
+}
+
+func TestValidateMalformedInput(t *testing.T) {
+	if err := testSchema().Validate(strings.NewReader(`<bib><book></bib>`)); err == nil {
+		t.Fatal("malformed input must error")
+	}
+}

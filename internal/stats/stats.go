@@ -1,0 +1,102 @@
+// Package stats records run statistics: the buffer plot series of the
+// paper's Figures 3 and 4 (tokens processed → nodes buffered) and the
+// high watermarks reported in Figure 5.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Point is one sample of the buffer plot.
+type Point struct {
+	// Token is the number of input tokens processed so far (x-axis).
+	Token int64
+	// Nodes is the number of buffered XML nodes after processing the
+	// token (y-axis).
+	Nodes int64
+	// Bytes is the estimated buffered size at the sample.
+	Bytes int64
+}
+
+// Recorder samples the buffer size per processed token.
+type Recorder struct {
+	// Every is the sampling interval in tokens; 1 records every token
+	// (the paper's Fig. 3), larger values bound the series size for
+	// multi-million-token runs (Fig. 4).
+	Every int64
+	// Points is the recorded series.
+	Points []Point
+
+	count int64
+}
+
+// NewRecorder returns a recorder sampling every n tokens (n < 1 is
+// treated as 1).
+func NewRecorder(n int64) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{Every: n}
+}
+
+// Record adds a sample if the token index falls on the sampling grid.
+func (r *Recorder) Record(token, nodes, bytes int64) {
+	r.count++
+	if r.count%r.Every != 0 {
+		return
+	}
+	r.Points = append(r.Points, Point{Token: token, Nodes: nodes, Bytes: bytes})
+}
+
+// PeakNodes returns the maximum recorded node count.
+func (r *Recorder) PeakNodes() int64 {
+	var peak int64
+	for _, p := range r.Points {
+		if p.Nodes > peak {
+			peak = p.Nodes
+		}
+	}
+	return peak
+}
+
+// WriteTSV writes the series as "token<TAB>nodes" lines, ready for
+// gnuplot (the format of the paper's buffer plots).
+func (r *Recorder) WriteTSV(w io.Writer) error {
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%d\t%d\n", p.Token, p.Nodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders the node series as a compact ASCII chart (used by
+// the examples to visualize the Fig. 3 oscillation in a terminal).
+func (r *Recorder) Sparkline(width int) string {
+	if len(r.Points) == 0 || width < 1 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	peak := r.PeakNodes()
+	if peak == 0 {
+		peak = 1
+	}
+	var b strings.Builder
+	step := float64(len(r.Points)) / float64(width)
+	if step < 1 {
+		step = 1
+		width = len(r.Points)
+	}
+	for i := 0; i < width; i++ {
+		idx := int(float64(i) * step)
+		if idx >= len(r.Points) {
+			idx = len(r.Points) - 1
+		}
+		v := r.Points[idx].Nodes
+		l := int(float64(v) / float64(peak) * float64(len(levels)-1))
+		b.WriteRune(levels[l])
+	}
+	return b.String()
+}

@@ -1,0 +1,19 @@
+package xmark
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkGenerate measures generator throughput (document bytes per
+// second), which bounds how fast the big Fig. 5 sweeps can run.
+func BenchmarkGenerate(b *testing.B) {
+	const target = 1 << 20
+	b.SetBytes(target)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(io.Discard, Config{TargetBytes: target, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package xmark
+
+import "strings"
+
+// PaperQuery is the running example of the paper's introduction: all
+// price-less children of bib, then all book titles.
+const PaperQuery = `<r> {
+for $bib in /bib return
+(for $x in $bib/* return
+   if (not(exists $x/price)) then $x else (),
+ for $b in $bib/book return $b/title)
+} </r>`
+
+// BibDocument builds the paper's Figure 3 input documents: a bib root
+// with children of the given kinds ("book" or "article"), each of the
+// form <t><author/><title/><price/></t> — "a total of 82 tags forming
+// 41 document nodes" for ten children.
+func BibDocument(kinds []string) string {
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for _, k := range kinds {
+		b.WriteString("<" + k + "><author></author><title></title><price></price></" + k + ">")
+	}
+	b.WriteString("</bib>")
+	return b.String()
+}
+
+// Fig3bKinds is the document of Figure 3(b): nine articles then a book.
+func Fig3bKinds() []string { return kindsSeq("article", 9, "book") }
+
+// Fig3cKinds is the document of Figure 3(c): nine books then an article.
+func Fig3cKinds() []string { return kindsSeq("book", 9, "article") }
+
+func kindsSeq(kind string, n int, last string) []string {
+	kinds := make([]string, n+1)
+	for i := 0; i < n; i++ {
+		kinds[i] = kind
+	}
+	kinds[n] = last
+	return kinds
+}

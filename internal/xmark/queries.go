@@ -1,0 +1,131 @@
+package xmark
+
+import "sort"
+
+// Query describes one benchmark query of the paper's Figure 5, adapted
+// to the composition-free fragment supported by GCX exactly as the
+// paper did for its experiments ("queries were adapted accordingly; the
+// rewritten queries can be found at the GCX download page").
+type Query struct {
+	ID string
+	// Description is the original XMark query intent.
+	Description string
+	// Text is the adapted query.
+	Text string
+	// UsesDescendant marks descendant-axis queries, which the paper's
+	// schema-based reference engine (FluXQuery) does not support — its
+	// Fig. 5 column shows "n/a" for Q6.
+	UsesDescendant bool
+	// UsesAggregation marks queries needing the count() extension (not part
+	// of the paper's fragment).
+	UsesAggregation bool
+	// Blocking marks queries that inherently require buffering linear
+	// in the input (the join Q8).
+	Blocking bool
+}
+
+// Queries is the catalog of adapted XMark queries, keyed by their paper
+// names.
+var Queries = map[string]Query{
+	"Q1": {
+		ID:          "Q1",
+		Description: "Return the name of the person with ID person0.",
+		Text: `<result>{
+  for $p in /site/people/person return
+    if ($p/@id = "person0") then $p/name else ()
+}</result>`,
+	},
+	"Q6": {
+		ID:          "Q6",
+		Description: "Items listed on all continents (adapted: emit item names instead of counting).",
+		Text: `<result>{
+  for $r in /site/regions return
+    for $i in $r//item return <item>{ $i/name }</item>
+}</result>`,
+		UsesDescendant: true,
+	},
+	"Q8": {
+		ID:          "Q8",
+		Description: "For each person, the items they bought (value join people ⋈ closed_auctions; adapted: emit prices instead of counting).",
+		Text: `<result>{
+  for $p in /site/people/person return
+    <item>{
+      $p/name,
+      for $t in /site/closed_auctions/closed_auction return
+        if ($t/buyer/@person = $p/@id) then $t/price else ()
+    }</item>
+}</result>`,
+		Blocking: true,
+	},
+	"Q13": {
+		ID:          "Q13",
+		Description: "Names and descriptions of items registered in Australia (original XMark form, using an attribute value template).",
+		Text: `<result>{
+  for $i in /site/regions/australia/item return
+    <item name="{$i/name/text()}">{ $i/description }</item>
+}</result>`,
+	},
+	"Q20": {
+		ID:          "Q20",
+		Description: "Group customers by income (adapted: emit names per bracket instead of counting).",
+		Text: `<result>{
+  for $p in /site/people/person return
+    (if ($p/profile/@income >= 100000) then <preferred>{ $p/name }</preferred> else (),
+     if ($p/profile/@income < 100000 and $p/profile/@income >= 30000) then <standard>{ $p/name }</standard> else (),
+     if ($p/profile/@income < 30000) then <challenge>{ $p/name }</challenge> else (),
+     if (not(exists $p/profile/@income)) then <na>{ $p/name }</na> else ())
+}</result>`,
+	},
+	"Q6count": {
+		ID:              "Q6count",
+		Description:     "Original counting form of Q6, using the count() aggregation extension.",
+		Text:            `<result>{ count(/site/regions//item) }</result>`,
+		UsesDescendant:  true,
+		UsesAggregation: true,
+	},
+	"Q5": {
+		ID:              "Q5",
+		Description:     "How many sold items cost more than 40 (original uses count; adapted with the aggregation extension and a where clause).",
+		Text:            `<result>{ count(/site/closed_auctions/closed_auction/price) , " priced, high: ", for $t in /site/closed_auctions/closed_auction where $t/price >= 40 return <p>{ $t/price/text() }</p> }</result>`,
+		UsesAggregation: true,
+	},
+	"Q17": {
+		ID:          "Q17",
+		Description: "People without a homepage (adapted: emit names; exercises not(exists …)).",
+		Text: `<result>{
+  for $p in /site/people/person return
+    if (not(exists $p/homepage)) then <person>{ $p/name }</person> else ()
+}</result>`,
+	},
+	"Q20sum": {
+		ID:              "Q20sum",
+		Description:     "Average declared income (extension: avg over attribute values).",
+		Text:            `<result>{ avg(/site/people/person/profile/@income) }</result>`,
+		UsesAggregation: true,
+	},
+}
+
+// QueryIDs returns the catalog keys in a stable order (paper order
+// first, extensions last).
+func QueryIDs() []string {
+	order := map[string]int{"Q1": 0, "Q6": 1, "Q8": 2, "Q13": 3, "Q20": 4}
+	ids := make([]string, 0, len(Queries))
+	for id := range Queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		oi, iok := order[ids[i]]
+		oj, jok := order[ids[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return ids[i] < ids[j]
+		}
+	})
+	return ids
+}

@@ -1,0 +1,42 @@
+package xmark
+
+import "gcx/internal/schema"
+
+// AuctionSchema declares the content ordering of the generated
+// XMark-like documents — the information a schema-based streaming
+// engine (the paper's FluXQuery comparator) would exploit, and the
+// contract the generator is validated against in tests.
+func AuctionSchema() *schema.Schema {
+	return schema.New(map[string][]string{
+		"site": {"regions", "categories", "catgraph", "people",
+			"open_auctions", "closed_auctions"},
+		"regions": {"africa", "asia", "australia", "europe", "namerica", "samerica"},
+		"africa":  {"item"}, "asia": {"item"}, "australia": {"item"},
+		"europe": {"item"}, "namerica": {"item"}, "samerica": {"item"},
+		"item": {"location", "quantity", "name", "payment", "description",
+			"shipping", "incategory", "mailbox"},
+		"description": {"parlist", "text"},
+		"parlist":     {"listitem"},
+		"listitem":    {"text"},
+		"mailbox":     {"mail"},
+		"mail":        {"from", "to", "date", "text"},
+		"categories":  {"category"},
+		"category":    {"name", "description"},
+		"catgraph":    {"edge"},
+		"people":      {"person"},
+		"person": {"name", "emailaddress", "phone", "address", "creditcard",
+			"profile", "homepage", "watches"},
+		"address":       {"street", "city", "country", "zipcode"},
+		"profile":       {"education", "business"},
+		"watches":       {"watch"},
+		"open_auctions": {"open_auction"},
+		"open_auction": {"initial", "bidder", "current", "itemref", "seller",
+			"annotation", "quantity", "type", "interval"},
+		"bidder":          {"date", "time", "personref", "increase"},
+		"annotation":      {"author", "description"},
+		"interval":        {"start", "end"},
+		"closed_auctions": {"closed_auction"},
+		"closed_auction": {"seller", "buyer", "itemref", "price", "date",
+			"quantity", "type", "annotation"},
+	})
+}

@@ -1,0 +1,65 @@
+package xmltok
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzTokenizer: arbitrary bytes must produce either tokens or a clean
+// error — never a panic or an infinite loop. Accepted documents must
+// round-trip through the serializer.
+func FuzzTokenizer(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a b="c">x &amp; y</a>`,
+		`<?xml version="1.0"?><!DOCTYPE a><a><!-- c --><![CDATA[<>]]></a>`,
+		`<a><b></a></b>`,
+		`&#x41;`,
+		`<a`,
+		`</a>`,
+		"<a>\x00\xff</a>",
+		`<a x='1' x="2"/>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		tz := NewTokenizer(strings.NewReader(doc))
+		tz.KeepWhitespace = true
+		var toks []Token
+		for i := 0; ; i++ {
+			tok, err := tz.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // clean rejection
+			}
+			toks = append(toks, tok)
+			if i > len(doc)+16 {
+				t.Fatalf("more tokens than input bytes: runaway tokenizer")
+			}
+		}
+		// accepted documents must serialize and re-tokenize cleanly
+		var out strings.Builder
+		ser := NewSerializer(&out)
+		for _, tok := range toks {
+			ser.Token(tok)
+		}
+		if err := ser.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		tz2 := NewTokenizer(strings.NewReader(out.String()))
+		tz2.KeepWhitespace = true
+		for {
+			_, err := tz2.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("serializer output does not re-tokenize: %v\ninput: %q\noutput: %q", err, doc, out.String())
+			}
+		}
+	})
+}

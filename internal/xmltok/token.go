@@ -1,0 +1,83 @@
+// Package xmltok implements a streaming XML tokenizer and serializer.
+//
+// It is the lowest substrate of the GCX reproduction: the stream
+// preprojector (internal/projection), the DOM baseline (internal/dom) and
+// the XMark generator round-trips all consume or produce this token
+// stream. The tokenizer works strictly one token at a time with a single
+// token of lookahead, matching the paper's requirement that projection
+// "can be done on-the-fly, with a lookahead of just one token".
+//
+// The dialect is the data-oriented subset of XML that the GCX fragment
+// needs: elements, attributes, character data, CDATA sections, character
+// and predefined entity references. Comments, processing instructions,
+// DOCTYPE declarations and the XML declaration are skipped. Namespaces
+// are not interpreted; qualified names are treated as plain names, as in
+// the original GCX.
+package xmltok
+
+import "fmt"
+
+// Kind identifies the kind of a Token.
+type Kind uint8
+
+const (
+	// StartElement is an opening tag. Self-closing tags (<a/>) produce a
+	// StartElement immediately followed by an EndElement, so that the
+	// paper's token counting (82 tags for 41 nodes) is preserved.
+	StartElement Kind = iota
+	// EndElement is a closing tag.
+	EndElement
+	// Text is character data (entity references already resolved).
+	Text
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case Text:
+		return "Text"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Attr is a single attribute of an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one event of the XML stream.
+type Token struct {
+	Kind Kind
+	// Name is the element name for StartElement and EndElement tokens.
+	Name string
+	// Text is the character data for Text tokens.
+	Text string
+	// Attrs holds the attributes of a StartElement token, in document
+	// order. It is nil for all other kinds.
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SyntaxError describes a malformed-input error with its byte offset.
+type SyntaxError struct {
+	Offset int64
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmltok: syntax error at byte %d: %s", e.Offset, e.Msg)
+}

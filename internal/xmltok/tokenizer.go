@@ -1,0 +1,528 @@
+package xmltok
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Tokenizer reads an XML byte stream and produces Tokens one at a time.
+//
+// The zero value is not usable; construct with NewTokenizer. The
+// tokenizer validates well-formedness of the element nesting (tag-name
+// balance) as it goes, so downstream components may assume that an
+// EndElement always matches the innermost open StartElement.
+type Tokenizer struct {
+	r   *bufio.Reader
+	off int64 // byte offset for error reporting
+
+	// stack of currently open element names.
+	stack []string
+	// names interns element and attribute names so that repeated tags in
+	// large documents share one string allocation.
+	names map[string]string
+
+	// pending holds a synthesized token (the EndElement of a self-closing
+	// tag) to be returned by the next call to Next.
+	pending *Token
+	peeked  *Token
+
+	// ioErr records a non-EOF read error from the underlying reader, so
+	// it is reported as itself rather than masked as a syntax error.
+	ioErr error
+
+	// KeepWhitespace controls whether whitespace-only text nodes are
+	// reported. Data-oriented processing (the default) drops them; the
+	// round-trip property tests keep them.
+	KeepWhitespace bool
+
+	count   int64
+	depth   int
+	started bool
+	done    bool
+
+	textBuf []byte
+}
+
+// NewTokenizer returns a Tokenizer reading from r.
+func NewTokenizer(r io.Reader) *Tokenizer {
+	return &Tokenizer{
+		r:     bufio.NewReaderSize(r, 64<<10),
+		names: make(map[string]string, 64),
+	}
+}
+
+// TokenCount reports how many tokens have been delivered so far. This is
+// the x-axis of the paper's buffer plots ("number of tokens processed").
+func (t *Tokenizer) TokenCount() int64 { return t.count }
+
+// Depth reports the current element nesting depth (number of open tags).
+func (t *Tokenizer) Depth() int { return t.depth }
+
+// Peek returns the next token without consuming it. The returned token is
+// only valid until the following call to Next.
+func (t *Tokenizer) Peek() (Token, error) {
+	if t.peeked == nil {
+		tok, err := t.read()
+		if err != nil {
+			return Token{}, err
+		}
+		t.peeked = &tok
+	}
+	return *t.peeked, nil
+}
+
+// Next returns the next token of the stream. At end of input it returns
+// io.EOF; if the input ends with unclosed elements, a SyntaxError is
+// returned instead.
+func (t *Tokenizer) Next() (Token, error) {
+	var tok Token
+	var err error
+	if t.peeked != nil {
+		tok, t.peeked = *t.peeked, nil
+	} else {
+		tok, err = t.read()
+		if err != nil {
+			return Token{}, err
+		}
+	}
+	t.count++
+	switch tok.Kind {
+	case StartElement:
+		t.depth++
+	case EndElement:
+		t.depth--
+	}
+	return tok, nil
+}
+
+// read produces the next raw token, maintaining the open-element stack.
+func (t *Tokenizer) read() (Token, error) {
+	if t.pending != nil {
+		tok := *t.pending
+		t.pending = nil
+		t.stack = t.stack[:len(t.stack)-1]
+		return tok, nil
+	}
+	if t.done {
+		return Token{}, io.EOF
+	}
+	for {
+		b, err := t.readByte()
+		if err == io.EOF {
+			if len(t.stack) > 0 {
+				return Token{}, t.errf("unexpected end of input inside <%s>", t.stack[len(t.stack)-1])
+			}
+			t.done = true
+			return Token{}, io.EOF
+		}
+		if err != nil {
+			return Token{}, err
+		}
+		if b == '<' {
+			tok, skip, err := t.readMarkup()
+			if err != nil {
+				return Token{}, err
+			}
+			if skip {
+				continue
+			}
+			return tok, nil
+		}
+		// Character data up to the next '<'.
+		tok, keep, err := t.readText(b)
+		if err != nil {
+			return Token{}, err
+		}
+		if keep {
+			return tok, nil
+		}
+	}
+}
+
+// readMarkup parses markup following '<'. skip is true for ignorable
+// constructs (comments, PIs, declarations).
+func (t *Tokenizer) readMarkup() (tok Token, skip bool, err error) {
+	b, err := t.readByte()
+	if err != nil {
+		return Token{}, false, t.errf("unexpected end of input in markup")
+	}
+	switch b {
+	case '?':
+		return Token{}, true, t.skipUntil("?>")
+	case '!':
+		return t.readBang()
+	case '/':
+		return t.readEndTag()
+	default:
+		t.unread()
+		return t.readStartTag()
+	}
+}
+
+// readBang handles "<!..." constructs: comments, CDATA, DOCTYPE.
+func (t *Tokenizer) readBang() (Token, bool, error) {
+	b, err := t.readByte()
+	if err != nil {
+		return Token{}, false, t.errf("unexpected end of input after '<!'")
+	}
+	switch b {
+	case '-':
+		if b2, err := t.readByte(); err != nil || b2 != '-' {
+			return Token{}, false, t.errf("malformed comment")
+		}
+		return Token{}, true, t.skipUntil("-->")
+	case '[':
+		// CDATA section: <![CDATA[ ... ]]>
+		const open = "CDATA["
+		for i := 0; i < len(open); i++ {
+			b2, err := t.readByte()
+			if err != nil || b2 != open[i] {
+				return Token{}, false, t.errf("malformed CDATA section")
+			}
+		}
+		text, err := t.readUntil("]]>")
+		if err != nil {
+			return Token{}, false, err
+		}
+		if len(t.stack) == 0 {
+			return Token{}, true, nil // CDATA outside root: ignore
+		}
+		return Token{Kind: Text, Text: text}, false, nil
+	default:
+		// DOCTYPE or other declaration: skip to matching '>'. Internal
+		// subsets with nested brackets are not supported (XMark-class
+		// documents do not use them).
+		t.unread()
+		return Token{}, true, t.skipUntil(">")
+	}
+}
+
+func (t *Tokenizer) readEndTag() (Token, bool, error) {
+	name, err := t.readName()
+	if err != nil {
+		return Token{}, false, err
+	}
+	t.skipSpace()
+	b, err := t.readByte()
+	if err != nil || b != '>' {
+		return Token{}, false, t.errf("malformed end tag </%s", name)
+	}
+	if len(t.stack) == 0 {
+		return Token{}, false, t.errf("unexpected </%s> with no open element", name)
+	}
+	top := t.stack[len(t.stack)-1]
+	if top != name {
+		return Token{}, false, t.errf("mismatched </%s>, expected </%s>", name, top)
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	if len(t.stack) == 0 {
+		t.started = true
+	}
+	return Token{Kind: EndElement, Name: name}, false, nil
+}
+
+func (t *Tokenizer) readStartTag() (Token, bool, error) {
+	if t.started && len(t.stack) == 0 {
+		return Token{}, false, t.errf("content after document element")
+	}
+	name, err := t.readName()
+	if err != nil {
+		return Token{}, false, err
+	}
+	var attrs []Attr
+	for {
+		t.skipSpace()
+		b, err := t.readByte()
+		if err != nil {
+			return Token{}, false, t.errf("unexpected end of input in <%s>", name)
+		}
+		switch b {
+		case '>':
+			t.stack = append(t.stack, name)
+			return Token{Kind: StartElement, Name: name, Attrs: attrs}, false, nil
+		case '/':
+			b2, err := t.readByte()
+			if err != nil || b2 != '>' {
+				return Token{}, false, t.errf("malformed self-closing tag <%s", name)
+			}
+			t.stack = append(t.stack, name)
+			t.pending = &Token{Kind: EndElement, Name: name}
+			return Token{Kind: StartElement, Name: name, Attrs: attrs}, false, nil
+		default:
+			t.unread()
+			a, err := t.readAttr(name)
+			if err != nil {
+				return Token{}, false, err
+			}
+			attrs = append(attrs, a)
+		}
+	}
+}
+
+func (t *Tokenizer) readAttr(elem string) (Attr, error) {
+	name, err := t.readName()
+	if err != nil {
+		return Attr{}, t.errf("malformed attribute in <%s>", elem)
+	}
+	t.skipSpace()
+	b, err := t.readByte()
+	if err != nil || b != '=' {
+		return Attr{}, t.errf("attribute %s in <%s> missing '='", name, elem)
+	}
+	t.skipSpace()
+	q, err := t.readByte()
+	if err != nil || (q != '"' && q != '\'') {
+		return Attr{}, t.errf("attribute %s in <%s> missing quote", name, elem)
+	}
+	t.textBuf = t.textBuf[:0]
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return Attr{}, t.errf("unterminated attribute value for %s", name)
+		}
+		if b == q {
+			break
+		}
+		if b == '&' {
+			r, err := t.readEntity()
+			if err != nil {
+				return Attr{}, err
+			}
+			t.textBuf = append(t.textBuf, r...)
+			continue
+		}
+		t.textBuf = append(t.textBuf, b)
+	}
+	return Attr{Name: name, Value: string(t.textBuf)}, nil
+}
+
+// readText accumulates character data starting with first, up to (not
+// including) the next '<'. keep is false when the text is whitespace-only
+// and KeepWhitespace is unset, or when it occurs outside the document
+// element.
+func (t *Tokenizer) readText(first byte) (Token, bool, error) {
+	t.textBuf = t.textBuf[:0]
+	ws := true
+	appendByte := func(b byte) {
+		if ws && b != ' ' && b != '\t' && b != '\n' && b != '\r' {
+			ws = false
+		}
+		t.textBuf = append(t.textBuf, b)
+	}
+	if first == '&' {
+		r, err := t.readEntity()
+		if err != nil {
+			return Token{}, false, err
+		}
+		for i := 0; i < len(r); i++ {
+			appendByte(r[i])
+		}
+	} else {
+		appendByte(first)
+	}
+	for {
+		b, err := t.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Token{}, false, err
+		}
+		if b == '<' {
+			t.unread()
+			break
+		}
+		if b == '&' {
+			r, err := t.readEntity()
+			if err != nil {
+				return Token{}, false, err
+			}
+			for i := 0; i < len(r); i++ {
+				appendByte(r[i])
+			}
+			continue
+		}
+		appendByte(b)
+	}
+	if len(t.stack) == 0 {
+		if ws {
+			return Token{}, false, nil
+		}
+		return Token{}, false, t.errf("character data outside document element")
+	}
+	if ws && !t.KeepWhitespace {
+		return Token{}, false, nil
+	}
+	return Token{Kind: Text, Text: string(t.textBuf)}, true, nil
+}
+
+// readEntity resolves an entity reference after '&' has been consumed.
+func (t *Tokenizer) readEntity() (string, error) {
+	var name strings.Builder
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return "", t.errf("unterminated entity reference")
+		}
+		if b == ';' {
+			break
+		}
+		name.WriteByte(b)
+		if name.Len() > 12 {
+			return "", t.errf("entity reference too long")
+		}
+	}
+	s := name.String()
+	switch s {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return `"`, nil
+	}
+	if strings.HasPrefix(s, "#") {
+		base, digits := 10, s[1:]
+		if strings.HasPrefix(digits, "x") || strings.HasPrefix(digits, "X") {
+			base, digits = 16, digits[1:]
+		}
+		n, err := strconv.ParseUint(digits, base, 32)
+		if err != nil {
+			return "", t.errf("malformed character reference &%s;", s)
+		}
+		return string(rune(n)), nil
+	}
+	return "", t.errf("unknown entity &%s;", s)
+}
+
+// readName reads an XML name (simplified NCName: letters, digits, '.',
+// '-', '_', ':'), interned.
+func (t *Tokenizer) readName() (string, error) {
+	t.textBuf = t.textBuf[:0]
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			break
+		}
+		if isNameByte(b, len(t.textBuf) == 0) {
+			t.textBuf = append(t.textBuf, b)
+			continue
+		}
+		t.unread()
+		break
+	}
+	if len(t.textBuf) == 0 {
+		return "", t.errf("expected name")
+	}
+	if s, ok := t.names[string(t.textBuf)]; ok {
+		return s, nil
+	}
+	s := string(t.textBuf)
+	t.names[s] = s
+	return s, nil
+}
+
+func isNameByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		return true
+	case b >= '0' && b <= '9', b == '-', b == '.':
+		return !first
+	case b >= 0x80: // permit multi-byte UTF-8 names without decoding
+		return true
+	}
+	return false
+}
+
+func (t *Tokenizer) skipSpace() {
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return
+		}
+		if b != ' ' && b != '\t' && b != '\n' && b != '\r' {
+			t.unread()
+			return
+		}
+	}
+}
+
+// skipUntil discards input through the first occurrence of pat.
+func (t *Tokenizer) skipUntil(pat string) error {
+	_, err := t.scanUntil(pat, nil)
+	return err
+}
+
+// readUntil collects input through the first occurrence of pat, excluding
+// the pattern itself.
+func (t *Tokenizer) readUntil(pat string) (string, error) {
+	t.textBuf = t.textBuf[:0]
+	buf := &t.textBuf
+	_, err := t.scanUntil(pat, buf)
+	if err != nil {
+		return "", err
+	}
+	return string(*buf), nil
+}
+
+func (t *Tokenizer) scanUntil(pat string, collect *[]byte) (int, error) {
+	matched := 0
+	n := 0
+	for matched < len(pat) {
+		b, err := t.readByte()
+		if err != nil {
+			return n, t.errf("unexpected end of input looking for %q", pat)
+		}
+		n++
+		if b == pat[matched] {
+			matched++
+			continue
+		}
+		if collect != nil {
+			*collect = append(*collect, pat[:matched]...)
+			// re-check current byte against pattern start
+			if b == pat[0] {
+				matched = 1
+			} else {
+				*collect = append(*collect, b)
+				matched = 0
+			}
+			continue
+		}
+		if b == pat[0] {
+			matched = 1
+		} else {
+			matched = 0
+		}
+	}
+	return n, nil
+}
+
+func (t *Tokenizer) readByte() (byte, error) {
+	b, err := t.r.ReadByte()
+	if err == nil {
+		t.off++
+	} else if err != io.EOF && t.ioErr == nil {
+		t.ioErr = err
+	}
+	return b, err
+}
+
+func (t *Tokenizer) unread() {
+	_ = t.r.UnreadByte()
+	t.off--
+}
+
+func (t *Tokenizer) errf(format string, args ...any) error {
+	if t.ioErr != nil {
+		return fmt.Errorf("xmltok: read error at byte %d: %w", t.off, t.ioErr)
+	}
+	return &SyntaxError{Offset: t.off, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,304 @@
+package xmltok
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// drain reads all tokens until EOF.
+func drain(t *testing.T, tz *Tokenizer) []Token {
+	t.Helper()
+	var toks []Token
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			return toks
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func TestBasicDocument(t *testing.T) {
+	const doc = `<bib><book year="1994"><title>TCP/IP</title></book></bib>`
+	toks := drain(t, NewTokenizer(strings.NewReader(doc)))
+	want := []Token{
+		{Kind: StartElement, Name: "bib"},
+		{Kind: StartElement, Name: "book", Attrs: []Attr{{Name: "year", Value: "1994"}}},
+		{Kind: StartElement, Name: "title"},
+		{Kind: Text, Text: "TCP/IP"},
+		{Kind: EndElement, Name: "title"},
+		{Kind: EndElement, Name: "book"},
+		{Kind: EndElement, Name: "bib"},
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("tokens mismatch:\n got %v\nwant %v", toks, want)
+	}
+}
+
+func TestSelfClosingProducesTwoTokens(t *testing.T) {
+	// The paper counts <title/> as two tags (82 tags for 41 nodes).
+	toks := drain(t, NewTokenizer(strings.NewReader(`<a><b/><c x="1"/></a>`)))
+	want := []Token{
+		{Kind: StartElement, Name: "a"},
+		{Kind: StartElement, Name: "b"},
+		{Kind: EndElement, Name: "b"},
+		{Kind: StartElement, Name: "c", Attrs: []Attr{{Name: "x", Value: "1"}}},
+		{Kind: EndElement, Name: "c"},
+		{Kind: EndElement, Name: "a"},
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("tokens mismatch:\n got %v\nwant %v", toks, want)
+	}
+}
+
+func TestPaperFig3TokenCount(t *testing.T) {
+	// Fig. 3: bib with ten <t><author/><title/><price/></t> children is
+	// "a total of 82 tags forming 41 document nodes".
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < 10; i++ {
+		b.WriteString("<book><author></author><title></title><price></price></book>")
+	}
+	b.WriteString("</bib>")
+	tz := NewTokenizer(strings.NewReader(b.String()))
+	toks := drain(t, tz)
+	if len(toks) != 82 {
+		t.Fatalf("got %d tokens, want 82", len(toks))
+	}
+	if tz.TokenCount() != 82 {
+		t.Fatalf("TokenCount = %d, want 82", tz.TokenCount())
+	}
+	starts := 0
+	for _, tok := range toks {
+		if tok.Kind == StartElement {
+			starts++
+		}
+	}
+	if starts != 41 {
+		t.Fatalf("got %d element nodes, want 41", starts)
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	const doc = "<a>\n  <b>x</b>\n</a>"
+	toks := drain(t, NewTokenizer(strings.NewReader(doc)))
+	for _, tok := range toks {
+		if tok.Kind == Text && strings.TrimSpace(tok.Text) == "" {
+			t.Fatalf("whitespace-only text not dropped: %q", tok.Text)
+		}
+	}
+	tz := NewTokenizer(strings.NewReader(doc))
+	tz.KeepWhitespace = true
+	toks = drain(t, tz)
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == Text && strings.TrimSpace(tok.Text) == "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("KeepWhitespace did not preserve whitespace text")
+	}
+}
+
+func TestEntitiesAndCDATA(t *testing.T) {
+	const doc = `<a p="x&amp;y">1 &lt; 2 &#65;&#x42;<![CDATA[<raw>&amp;]]></a>`
+	toks := drain(t, NewTokenizer(strings.NewReader(doc)))
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if v, _ := toks[0].Attr("p"); v != "x&y" {
+		t.Errorf("attr = %q, want x&y", v)
+	}
+	if toks[1].Text != "1 < 2 AB" {
+		t.Errorf("text = %q", toks[1].Text)
+	}
+	if toks[2].Text != "<raw>&amp;" {
+		t.Errorf("cdata = %q", toks[2].Text)
+	}
+}
+
+func TestSkippedConstructs(t *testing.T) {
+	const doc = `<?xml version="1.0"?><!DOCTYPE a><!-- c --><a><!-- <b> --><?pi data?>x</a>`
+	toks := drain(t, NewTokenizer(strings.NewReader(doc)))
+	want := []Token{
+		{Kind: StartElement, Name: "a"},
+		{Kind: Text, Text: "x"},
+		{Kind: EndElement, Name: "a"},
+	}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("tokens mismatch:\n got %v\nwant %v", toks, want)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	tz := NewTokenizer(strings.NewReader("<a><b/></a>"))
+	p1, err := tz.Peek()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := tz.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, n1) {
+		t.Fatalf("peek %v != next %v", p1, n1)
+	}
+	if tz.TokenCount() != 1 {
+		t.Fatalf("TokenCount after one Next = %d", tz.TokenCount())
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []string{
+		`<a><b></a></b>`,
+		`<a>`,
+		`<a></b>`,
+		`text only`,
+		`<a></a><b></b>`,
+		`<a x=1></a>`,
+		`<a>&unknown;</a>`,
+		`<a x="unterminated></a>`,
+	}
+	for _, doc := range cases {
+		tz := NewTokenizer(strings.NewReader(doc))
+		var err error
+		for err == nil {
+			_, err = tz.Next()
+		}
+		if err == io.EOF {
+			t.Errorf("input %q: expected syntax error, got clean EOF", doc)
+		}
+	}
+}
+
+func TestDepthTracking(t *testing.T) {
+	tz := NewTokenizer(strings.NewReader("<a><b><c/></b></a>"))
+	maxDepth := 0
+	for {
+		_, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tz.Depth() > maxDepth {
+			maxDepth = tz.Depth()
+		}
+	}
+	if maxDepth != 3 {
+		t.Fatalf("max depth = %d, want 3", maxDepth)
+	}
+	if tz.Depth() != 0 {
+		t.Fatalf("final depth = %d, want 0", tz.Depth())
+	}
+}
+
+// genDoc emits a random well-formed document for round-trip testing.
+func genDoc(r *rand.Rand, depth int, b *strings.Builder) {
+	names := []string{"a", "bb", "ccc", "item", "x-y"}
+	name := names[r.Intn(len(names))]
+	b.WriteString("<" + name)
+	for i := r.Intn(3); i > 0; i-- {
+		b.WriteString(` at` + string(rune('a'+r.Intn(3))) + `="v&amp;` + string(rune('0'+r.Intn(10))) + `"`)
+	}
+	b.WriteString(">")
+	for i := r.Intn(4); i > 0 && depth < 5; i-- {
+		if r.Intn(2) == 0 {
+			genDoc(r, depth+1, b)
+		} else {
+			b.WriteString("t" + string(rune('0'+r.Intn(10))) + "&lt;x")
+		}
+	}
+	b.WriteString("</" + name + ">")
+}
+
+// TestRoundTripQuick: tokenize → serialize → tokenize yields identical
+// token streams (property-based).
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		genDoc(r, 0, &b)
+		doc := b.String()
+
+		tz1 := NewTokenizer(strings.NewReader(doc))
+		tz1.KeepWhitespace = true
+		var toks1 []Token
+		var out bytes.Buffer
+		ser := NewSerializer(&out)
+		for {
+			tok, err := tz1.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Logf("doc %q: %v", doc, err)
+				return false
+			}
+			toks1 = append(toks1, tok)
+			ser.Token(tok)
+		}
+		if err := ser.Flush(); err != nil {
+			return false
+		}
+		tz2 := NewTokenizer(bytes.NewReader(out.Bytes()))
+		tz2.KeepWhitespace = true
+		var toks2 []Token
+		for {
+			tok, err := tz2.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Logf("reserialized %q: %v", out.String(), err)
+				return false
+			}
+			toks2 = append(toks2, tok)
+		}
+		if !reflect.DeepEqual(toks1, toks2) {
+			t.Logf("round trip mismatch for %q", doc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializerEscaping(t *testing.T) {
+	var out bytes.Buffer
+	s := NewSerializer(&out)
+	s.StartElement("a", []Attr{{Name: "q", Value: `<"&>`}})
+	s.Text(`a<b>&c`)
+	s.EndElement("a")
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `<a q="&lt;&quot;&amp;&gt;">a&lt;b&gt;&amp;c</a>`
+	if out.String() != want {
+		t.Fatalf("got %q want %q", out.String(), want)
+	}
+	if s.BytesWritten() != int64(len(want)) {
+		t.Fatalf("BytesWritten = %d, want %d", s.BytesWritten(), len(want))
+	}
+}
+
+func TestEscapeText(t *testing.T) {
+	if got := EscapeText("a<b&c>d"); got != "a&lt;b&amp;c&gt;d" {
+		t.Fatalf("EscapeText = %q", got)
+	}
+	if got := EscapeText("plain"); got != "plain" {
+		t.Fatalf("EscapeText = %q", got)
+	}
+}

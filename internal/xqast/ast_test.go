@@ -1,0 +1,174 @@
+package xqast
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/xpath"
+)
+
+// paperExample builds the AST of the paper's running example query:
+//
+//	<r> { for $bib in /bib return
+//	        (for $x in $bib/* return
+//	           if (not(exists $x/price)) then $x else (),
+//	         for $b in $bib/book return $b/title) } </r>
+func paperExample() *Query {
+	inner1 := &ForExpr{
+		Var: "x",
+		In:  PathExpr{Base: "bib", Path: xpath.Path{Steps: []xpath.Step{xpath.WildcardStep()}}},
+		Body: &IfExpr{
+			Cond: &NotCond{C: &ExistsCond{Arg: PathExpr{
+				Base: "x",
+				Path: xpath.Path{Steps: []xpath.Step{xpath.ChildStep("price")}},
+			}}},
+			Then: &VarRef{Var: "x"},
+			Else: &Empty{},
+		},
+	}
+	inner2 := &ForExpr{
+		Var: "b",
+		In:  PathExpr{Base: "bib", Path: xpath.Path{Steps: []xpath.Step{xpath.ChildStep("book")}}},
+		Body: &PathExpr{
+			Base: "b",
+			Path: xpath.Path{Steps: []xpath.Step{xpath.ChildStep("title")}},
+		},
+	}
+	return &Query{Body: &Element{
+		Name: "r",
+		Content: &ForExpr{
+			Var:  "bib",
+			In:   PathExpr{Base: RootVar, Path: xpath.Path{Steps: []xpath.Step{xpath.ChildStep("bib")}}},
+			Body: NewSequence(inner1, inner2),
+		},
+	}}
+}
+
+func TestPrintPaperExample(t *testing.T) {
+	out := Print(paperExample())
+	for _, want := range []string{
+		"<r> {",
+		"for $bib in /bib return",
+		"for $x in $bib/* return",
+		"if (not(exists $x/price)) then",
+		"$x",
+		"for $b in $bib/book return",
+		"$b/title",
+		"} </r>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed query missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintSignOff(t *testing.T) {
+	so := &SignOff{
+		Base: "x",
+		Path: xpath.Path{Steps: []xpath.Step{
+			{Axis: xpath.Child, Test: xpath.Test{Kind: xpath.TestName, Name: "price"}, FirstOnly: true},
+		}},
+		Role: 3,
+	}
+	if got := PrintExpr(so); got != "signOff($x/price[1], r4)" {
+		t.Fatalf("got %q", got)
+	}
+	self := &SignOff{Base: "x", Role: 2}
+	if got := PrintExpr(self); got != "signOff($x, r3)" {
+		t.Fatalf("got %q", got)
+	}
+	root := &SignOff{Base: RootVar, Path: xpath.Path{Steps: []xpath.Step{xpath.ChildStep("bib")}}, Role: 1}
+	if got := PrintExpr(root); got != "signOff(/bib, r2)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNewSequenceCanonicalization(t *testing.T) {
+	if _, ok := NewSequence().(*Empty); !ok {
+		t.Error("empty NewSequence should be Empty")
+	}
+	v := &VarRef{Var: "x"}
+	if got := NewSequence(v); got != v {
+		t.Error("single-item sequence should be the item")
+	}
+	s := NewSequence(v, NewSequence(&StringLit{Value: "a"}, &StringLit{Value: "b"}), &Empty{})
+	seq, ok := s.(*Sequence)
+	if !ok || len(seq.Items) != 3 {
+		t.Fatalf("flattening failed: %#v", s)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	q := paperExample()
+	var kinds []string
+	Walk(q.Body, func(e Expr) bool {
+		switch e.(type) {
+		case *Element:
+			kinds = append(kinds, "elem")
+		case *ForExpr:
+			kinds = append(kinds, "for")
+		case *IfExpr:
+			kinds = append(kinds, "if")
+		case *VarRef:
+			kinds = append(kinds, "var")
+		case *PathExpr:
+			kinds = append(kinds, "path")
+		}
+		return true
+	})
+	want := []string{"elem", "for", "for", "if", "var", "for", "path"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("walk order = %v, want %v", kinds, want)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	q := paperExample()
+	count := 0
+	Walk(q.Body, func(e Expr) bool {
+		count++
+		_, isFor := e.(*ForExpr)
+		return !isFor // don't descend into loops
+	})
+	// element + outer for only
+	if count != 2 {
+		t.Fatalf("pruned walk visited %d nodes, want 2", count)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	q := paperExample()
+	free := FreeVars(q.Body)
+	if len(free) != 0 {
+		t.Fatalf("paper example should be closed, free = %v", free)
+	}
+	open := &PathExpr{Base: "undeclared", Path: xpath.Path{}}
+	free = FreeVars(open)
+	if !free["undeclared"] {
+		t.Fatal("free variable not detected")
+	}
+	// condition bases count too
+	cond := &IfExpr{
+		Cond: &CompareCond{Op: CmpEq,
+			L: Operand{Kind: OperandPath, Path: PathExpr{Base: "p"}},
+			R: Operand{Kind: OperandString, Str: "x"}},
+		Then: &Empty{}, Else: &Empty{},
+	}
+	if !FreeVars(cond)["p"] {
+		t.Fatal("comparison operand base not detected as free")
+	}
+}
+
+func TestCondString(t *testing.T) {
+	c := &AndCond{
+		L: &CompareCond{Op: CmpGt,
+			L: Operand{Kind: OperandPath, Path: PathExpr{Base: "p", Path: xpath.Path{Steps: []xpath.Step{xpath.AttributeStep("income")}}}},
+			R: Operand{Kind: OperandNumber, Num: 95000}},
+		R: &OrCond{L: &BoolLit{Value: true}, R: &NotCond{C: &BoolLit{Value: false}}},
+	}
+	got := condString(c)
+	want := `$p/@income > 95000 and true() or not(false())`
+	if got != want {
+		t.Fatalf("condString = %q, want %q", got, want)
+	}
+}

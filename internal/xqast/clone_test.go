@@ -1,0 +1,122 @@
+package xqast
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/xpath"
+	"gcx/internal/xqvalue"
+)
+
+// fullFeatureTree builds an expression exercising every node type.
+func fullFeatureTree() Expr {
+	pe := PathExpr{Base: "x", Path: xpath.Path{Steps: []xpath.Step{xpath.ChildStep("a")}}}
+	return NewSequence(
+		&Element{
+			Name: "w",
+			Attrs: []AttrTemplate{
+				{Name: "lit", Lit: "v"},
+				{Name: "dyn", Expr: &pe},
+			},
+			Content: &ForExpr{
+				Var: "x",
+				In:  PathExpr{Base: RootVar, Path: xpath.Path{Steps: []xpath.Step{xpath.ChildStep("r")}}},
+				Body: &IfExpr{
+					Cond: &AndCond{
+						L: &OrCond{L: &BoolLit{Value: true}, R: &NotCond{C: &ExistsCond{Arg: pe}}},
+						R: &CompareCond{Op: CmpLe,
+							L: Operand{Kind: OperandPath, Path: pe},
+							R: Operand{Kind: OperandNumber, Num: 4}},
+					},
+					Then: &VarRef{Var: "x"},
+					Else: &StringLit{Value: "s"},
+				},
+			},
+		},
+		&AggExpr{Fn: xqvalue.Sum, Arg: pe},
+		&SignOff{Base: "x", Path: pe.Path, Role: 3},
+		&Empty{},
+	)
+}
+
+func TestCloneDeepEquality(t *testing.T) {
+	orig := fullFeatureTree()
+	cp := CloneExpr(orig)
+	if Print(&Query{Body: orig}) != Print(&Query{Body: cp}) {
+		t.Fatalf("clone prints differently:\n%s\nvs\n%s",
+			Print(&Query{Body: orig}), Print(&Query{Body: cp}))
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	orig := fullFeatureTree().(*Sequence)
+	cp := CloneExpr(orig).(*Sequence)
+	// mutating the clone must not affect the original
+	el := cp.Items[0].(*Element)
+	el.Name = "mutated"
+	el.Attrs[0].Lit = "mutated"
+	el.Attrs[1].Expr.Base = "mutated"
+	cp.Items[1].(*AggExpr).Fn = xqvalue.Min
+
+	oe := orig.Items[0].(*Element)
+	if oe.Name != "w" || oe.Attrs[0].Lit != "v" || oe.Attrs[1].Expr.Base != "x" {
+		t.Fatal("clone shares state with original element")
+	}
+	if orig.Items[1].(*AggExpr).Fn != xqvalue.Sum {
+		t.Fatal("clone shares aggregate state")
+	}
+}
+
+func TestCloneCondTypes(t *testing.T) {
+	conds := []Cond{
+		&ExistsCond{},
+		&NotCond{C: &BoolLit{}},
+		&AndCond{L: &BoolLit{}, R: &BoolLit{}},
+		&OrCond{L: &BoolLit{}, R: &BoolLit{}},
+		&BoolLit{Value: true},
+		&CompareCond{},
+	}
+	for _, c := range conds {
+		cp := CloneCond(c)
+		if cp == c {
+			t.Fatalf("%T not deep-cloned", c)
+		}
+	}
+	if CloneCond(nil) != nil {
+		t.Fatal("nil cond clone")
+	}
+	if CloneExpr(nil) != nil {
+		t.Fatal("nil expr clone")
+	}
+}
+
+func TestPrintOperandForms(t *testing.T) {
+	cmp := &IfExpr{
+		Cond: &CompareCond{Op: CmpNe,
+			L: Operand{Kind: OperandString, Str: "lit"},
+			R: Operand{Kind: OperandNumber, Num: 2.5}},
+		Then: &Empty{}, Else: &Empty{},
+	}
+	out := PrintExpr(cmp)
+	for _, want := range []string{`"lit"`, "!=", "2.5"} {
+		if !contains(out, want) {
+			t.Errorf("printed %q missing %q", out, want)
+		}
+	}
+	// integral numbers print without a decimal point
+	cmp.Cond.(*CompareCond).R.Num = 40
+	if !contains(PrintExpr(cmp), " 40") {
+		t.Errorf("integral literal printed wrong: %s", PrintExpr(cmp))
+	}
+}
+
+func TestPrintSelfClosingAndDynAttrs(t *testing.T) {
+	pe := PathExpr{Base: "x", Path: xpath.Path{Steps: []xpath.Step{xpath.AttributeStep("id")}}}
+	el := &Element{Name: "e", Attrs: []AttrTemplate{{Name: "a", Expr: &pe}}, Content: &Empty{}}
+	out := PrintExpr(el)
+	if out != `<e a="{$x/@id}"/>` {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

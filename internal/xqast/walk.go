@@ -1,0 +1,108 @@
+package xqast
+
+// Walk traverses the expression tree in evaluation (pre-) order, calling
+// fn for every Expr node. If fn returns false the node's children are
+// not visited. Conditions are not Exprs; use WalkConds or VisitPaths to
+// reach into them.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *Sequence:
+		for _, item := range e.Items {
+			Walk(item, fn)
+		}
+	case *Element:
+		for _, a := range e.Attrs {
+			if a.Expr != nil {
+				Walk(a.Expr, fn)
+			}
+		}
+		Walk(e.Content, fn)
+	case *ForExpr:
+		Walk(e.Body, fn)
+	case *IfExpr:
+		Walk(e.Then, fn)
+		Walk(e.Else, fn)
+	}
+}
+
+// WalkConds calls fn on every condition node beneath c, outermost first.
+func WalkConds(c Cond, fn func(Cond)) {
+	if c == nil {
+		return
+	}
+	fn(c)
+	switch c := c.(type) {
+	case *NotCond:
+		WalkConds(c.C, fn)
+	case *AndCond:
+		WalkConds(c.L, fn)
+		WalkConds(c.R, fn)
+	case *OrCond:
+		WalkConds(c.L, fn)
+		WalkConds(c.R, fn)
+	}
+}
+
+// FreeVars returns the set of variable names used (as path bases or var
+// refs) but not bound by a for-loop within e. RootVar is never included.
+func FreeVars(e Expr) map[string]bool {
+	free := map[string]bool{}
+	bound := map[string]bool{RootVar: true}
+	collectFree(e, bound, free)
+	return free
+}
+
+func use(name string, bound, free map[string]bool) {
+	if !bound[name] {
+		free[name] = true
+	}
+}
+
+func collectFree(e Expr, bound, free map[string]bool) {
+	switch e := e.(type) {
+	case *Sequence:
+		for _, item := range e.Items {
+			collectFree(item, bound, free)
+		}
+	case *Element:
+		for _, a := range e.Attrs {
+			if a.Expr != nil {
+				use(a.Expr.Base, bound, free)
+			}
+		}
+		collectFree(e.Content, bound, free)
+	case *VarRef:
+		use(e.Var, bound, free)
+	case *PathExpr:
+		use(e.Base, bound, free)
+	case *AggExpr:
+		use(e.Arg.Base, bound, free)
+	case *SignOff:
+		use(e.Base, bound, free)
+	case *ForExpr:
+		use(e.In.Base, bound, free)
+		saved := bound[e.Var]
+		bound[e.Var] = true
+		collectFree(e.Body, bound, free)
+		bound[e.Var] = saved
+	case *IfExpr:
+		WalkConds(e.Cond, func(c Cond) {
+			switch c := c.(type) {
+			case *ExistsCond:
+				use(c.Arg.Base, bound, free)
+			case *CompareCond:
+				if c.L.Kind == OperandPath {
+					use(c.L.Path.Base, bound, free)
+				}
+				if c.R.Kind == OperandPath {
+					use(c.R.Path.Base, bound, free)
+				}
+			}
+		})
+		collectFree(e.Then, bound, free)
+		collectFree(e.Else, bound, free)
+	}
+}

@@ -1,0 +1,191 @@
+// Package xqgen generates random documents and random queries of the
+// GCX fragment for property-based testing: the differential oracle
+// (streaming engines vs. DOM), parser round-trip stability and fuzzing
+// of the compile pipeline all draw from it.
+//
+// Generated queries are always well-formed and well-scoped, so any
+// parse or analysis failure they provoke is a bug by construction.
+package xqgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Names is the element-name alphabet shared by documents and queries,
+// so that paths frequently match.
+var Names = []string{"a", "b", "c", "d", "e"}
+
+// Options tunes query generation.
+type Options struct {
+	// MaxLoops bounds the number of for-loops per query (join blow-up).
+	MaxLoops int
+	// Aggregates permits count/sum/min/max/avg expressions.
+	Aggregates bool
+	// AttrTemplates permits computed constructor attributes.
+	AttrTemplates bool
+	// Where permits where-clauses on loops.
+	Where bool
+}
+
+// DefaultOptions covers the full implemented language.
+func DefaultOptions() Options {
+	return Options{MaxLoops: 5, Aggregates: true, AttrTemplates: true, Where: true}
+}
+
+// Document produces a random well-formed document rooted at <root>.
+func Document(r *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	content(r, &sb, 0)
+	sb.WriteString("</root>")
+	return sb.String()
+}
+
+func content(r *rand.Rand, sb *strings.Builder, depth int) {
+	n := r.Intn(4)
+	if depth == 0 {
+		n = 2 + r.Intn(4)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case depth < 4 && r.Intn(3) > 0:
+			name := Names[r.Intn(len(Names))]
+			sb.WriteString("<" + name)
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(sb, ` id="%d"`, r.Intn(5))
+			}
+			if r.Intn(4) == 0 {
+				fmt.Fprintf(sb, ` k="%d"`, r.Intn(3))
+			}
+			sb.WriteString(">")
+			content(r, sb, depth+1)
+			sb.WriteString("</" + name + ">")
+		default:
+			fmt.Fprintf(sb, "t%d", r.Intn(10))
+		}
+	}
+}
+
+// Query produces a random query over Document-shaped inputs.
+func Query(r *rand.Rand, opts Options) string {
+	g := &gen{r: r, opts: opts}
+	return "<out>{ " + g.exprSeq(0) + " }</out>"
+}
+
+type gen struct {
+	r     *rand.Rand
+	opts  Options
+	vars  []string
+	next  int
+	loops int
+}
+
+func (g *gen) fresh() string {
+	g.next++
+	return fmt.Sprintf("x%d", g.next)
+}
+
+func (g *gen) name() string { return Names[g.r.Intn(len(Names))] }
+
+// path generates a relative path suffix of 1..2 steps.
+func (g *gen) path(allowAttr, allowText bool) string {
+	var steps []string
+	n := 1 + g.r.Intn(2)
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(6) {
+		case 0:
+			steps = append(steps, "*")
+		case 1:
+			steps = append(steps, "descendant::"+g.name())
+		default:
+			steps = append(steps, g.name())
+		}
+	}
+	if allowAttr && g.r.Intn(4) == 0 {
+		steps = append(steps, "@id")
+	} else if allowText && g.r.Intn(4) == 0 {
+		steps = append(steps, "text()")
+	}
+	return strings.Join(steps, "/")
+}
+
+// base picks an in-scope variable or the root.
+func (g *gen) base() string {
+	if len(g.vars) > 0 && g.r.Intn(3) > 0 {
+		return "$" + g.vars[g.r.Intn(len(g.vars))]
+	}
+	return ""
+}
+
+func (g *gen) pathRef(allowAttr, allowText bool) string {
+	b := g.base()
+	if b == "" {
+		return "/root/" + g.path(allowAttr, allowText)
+	}
+	return b + "/" + g.path(allowAttr, allowText)
+}
+
+func (g *gen) exprSeq(depth int) string {
+	n := 1 + g.r.Intn(2)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.expr(depth)
+	}
+	if n == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (g *gen) expr(depth int) string {
+	roll := g.r.Intn(12)
+	switch {
+	case roll < 4 && depth < 3 && g.loops < g.opts.MaxLoops:
+		g.loops++
+		v := g.fresh()
+		bind := g.pathRef(false, false)
+		where := ""
+		if g.opts.Where && g.r.Intn(4) == 0 {
+			where = " where " + g.cond(1)
+		}
+		g.vars = append(g.vars, v)
+		body := g.expr(depth + 1)
+		g.vars = g.vars[:len(g.vars)-1]
+		return fmt.Sprintf("for $%s in %s%s return %s", v, bind, where, body)
+	case roll < 6 && depth < 4:
+		return fmt.Sprintf("if (%s) then %s else %s", g.cond(0), g.expr(depth+1), g.expr(depth+1))
+	case roll < 7 && len(g.vars) > 0:
+		return "$" + g.vars[g.r.Intn(len(g.vars))]
+	case roll < 8 && g.opts.Aggregates:
+		fns := []string{"count", "sum", "min", "max", "avg"}
+		return fmt.Sprintf("%s(%s)", fns[g.r.Intn(len(fns))], g.pathRef(true, true))
+	case roll < 11:
+		attr := ""
+		if g.opts.AttrTemplates && g.r.Intn(3) == 0 {
+			attr = fmt.Sprintf(` v="{%s}"`, g.pathRef(true, true))
+		}
+		return "<w" + attr + ">{ " + g.pathRef(true, true) + " }</w>"
+	default:
+		return fmt.Sprintf("%q", fmt.Sprintf("s%d", g.r.Intn(5)))
+	}
+}
+
+func (g *gen) cond(depth int) string {
+	roll := g.r.Intn(8)
+	switch {
+	case roll < 2:
+		return "exists " + g.pathRef(true, false)
+	case roll < 3 && depth < 2:
+		return fmt.Sprintf("not(%s)", g.cond(depth+1))
+	case roll < 4 && depth < 2:
+		return fmt.Sprintf("(%s and %s)", g.cond(depth+1), g.cond(depth+1))
+	case roll < 5 && depth < 2:
+		return fmt.Sprintf("(%s or %s)", g.cond(depth+1), g.cond(depth+1))
+	case roll < 7:
+		return fmt.Sprintf("%s = %q", g.pathRef(true, true), fmt.Sprintf("%d", g.r.Intn(5)))
+	default:
+		return fmt.Sprintf("%s = %s", g.pathRef(true, false), g.pathRef(true, false))
+	}
+}

@@ -1,0 +1,29 @@
+package xqparse
+
+import (
+	"testing"
+
+	"gcx/internal/xmark"
+)
+
+// BenchmarkParsePaperQuery measures compile-side lexing+parsing of the
+// running example.
+func BenchmarkParsePaperQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(PaperQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseXMarkQ8 parses the largest catalog query.
+func BenchmarkParseXMarkQ8(b *testing.B) {
+	src := xmark.Queries["Q8"].Text
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

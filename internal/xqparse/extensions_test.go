@@ -1,0 +1,147 @@
+package xqparse
+
+import (
+	"testing"
+
+	"gcx/internal/xqast"
+	"gcx/internal/xqvalue"
+)
+
+// TestParseWhereClause: "where" desugars to a conditional body.
+func TestParseWhereClause(t *testing.T) {
+	q := mustParse(t, `for $x in /a/b where $x/@id = "1" return $x/name`)
+	f := q.Body.(*xqast.ForExpr)
+	iff, ok := f.Body.(*xqast.IfExpr)
+	if !ok {
+		t.Fatalf("where did not desugar to if: %#v", f.Body)
+	}
+	if _, ok := iff.Cond.(*xqast.CompareCond); !ok {
+		t.Fatalf("cond = %#v", iff.Cond)
+	}
+	if _, ok := iff.Then.(*xqast.PathExpr); !ok {
+		t.Fatalf("then = %#v", iff.Then)
+	}
+	if _, ok := iff.Else.(*xqast.Empty); !ok {
+		t.Fatalf("else = %#v", iff.Else)
+	}
+}
+
+func TestParseWhereWithBooleans(t *testing.T) {
+	q := mustParse(t, `for $x in /a/b where exists $x/c and not($x/d = "2") return $x`)
+	f := q.Body.(*xqast.ForExpr)
+	iff := f.Body.(*xqast.IfExpr)
+	if _, ok := iff.Cond.(*xqast.AndCond); !ok {
+		t.Fatalf("cond = %#v", iff.Cond)
+	}
+}
+
+// TestParseAggregates: the whole extension family parses.
+func TestParseAggregates(t *testing.T) {
+	cases := map[string]xqvalue.AggFunc{
+		`count($x/b)`:   xqvalue.Count,
+		`sum($x/price)`: xqvalue.Sum,
+		`min($x/price)`: xqvalue.Min,
+		`max($x/price)`: xqvalue.Max,
+		`avg($x/price)`: xqvalue.Avg,
+	}
+	for src, fn := range cases {
+		q := mustParse(t, src)
+		agg, ok := q.Body.(*xqast.AggExpr)
+		if !ok || agg.Fn != fn {
+			t.Errorf("%s parsed to %#v", src, q.Body)
+		}
+	}
+}
+
+// TestAggNamesStillValidAsElementNames: sum etc. are contextual — they
+// remain usable as path element names.
+func TestAggNamesStillValidAsElementNames(t *testing.T) {
+	q := mustParse(t, `$x/sum/count`)
+	pe, ok := q.Body.(*xqast.PathExpr)
+	if !ok || pe.Path.String() != "/sum/count" {
+		t.Fatalf("body = %#v", q.Body)
+	}
+}
+
+// TestParseAttrTemplates: attribute value templates carry one enclosed
+// path expression.
+func TestParseAttrTemplates(t *testing.T) {
+	q := mustParse(t, `<item name="{$i/name/text()}" fixed="lit">{$i/description}</item>`)
+	el := q.Body.(*xqast.Element)
+	if len(el.Attrs) != 2 {
+		t.Fatalf("attrs = %#v", el.Attrs)
+	}
+	dyn := el.Attrs[0]
+	if dyn.Expr == nil || dyn.Expr.Base != "i" || dyn.Expr.Path.String() != "/name/text()" {
+		t.Fatalf("dynamic attr = %#v", dyn)
+	}
+	lit := el.Attrs[1]
+	if lit.Expr != nil || lit.Lit != "lit" {
+		t.Fatalf("literal attr = %#v", lit)
+	}
+}
+
+func TestParseAttrTemplateAbsoluteAndAttrPath(t *testing.T) {
+	q := mustParse(t, `<w a="{/site/people/person/@id}"/>`)
+	el := q.Body.(*xqast.Element)
+	if el.Attrs[0].Expr == nil || el.Attrs[0].Expr.Base != xqast.RootVar {
+		t.Fatalf("attr = %#v", el.Attrs[0])
+	}
+	if el.Attrs[0].Expr.Path.String() != "/site/people/person/@id" {
+		t.Fatalf("path = %s", el.Attrs[0].Expr.Path)
+	}
+}
+
+func TestParseAttrTemplateBraceEscapes(t *testing.T) {
+	q := mustParse(t, `<w a="{{not-an-expr}}"/>`)
+	el := q.Body.(*xqast.Element)
+	if el.Attrs[0].Expr != nil || el.Attrs[0].Lit != "{not-an-expr}" {
+		t.Fatalf("attr = %#v", el.Attrs[0])
+	}
+}
+
+func TestParseAttrTemplateErrors(t *testing.T) {
+	for _, src := range []string{
+		`<w a="{$x/b"/>`,      // unterminated template (no closing brace)
+		`<w a="{$x/b, $y}"/>`, // more than one expression
+		`<w a="{if}"/>`,       // not a path
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// TestPrintParseRoundTripExtensions: printed extension constructs
+// re-parse stably.
+func TestPrintParseRoundTripExtensions(t *testing.T) {
+	queries := []string{
+		`for $x in /a/b where exists $x/c return sum($x/c)`,
+		`<item id="{$x/@id}">{ avg(/a/b/price) }</item>`,
+	}
+	for _, src := range queries {
+		q1 := mustParse(t, src)
+		printed := xqast.Print(q1)
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse failed: %v\n%s", err, printed)
+			continue
+		}
+		if xqast.Print(q1) != xqast.Print(q2) {
+			t.Errorf("round trip unstable for %s", src)
+		}
+	}
+}
+
+// TestUserVariableNamedRoot: "$root" is an ordinary user variable — the
+// internal root variable contains '%' and cannot collide.
+func TestUserVariableNamedRoot(t *testing.T) {
+	q := mustParse(t, `for $root in /a/b return $root/c`)
+	f := q.Body.(*xqast.ForExpr)
+	if f.Var != "root" {
+		t.Fatalf("var = %q", f.Var)
+	}
+	if f.In.Base != xqast.RootVar {
+		t.Fatal("absolute binding must anchor at the internal root")
+	}
+}

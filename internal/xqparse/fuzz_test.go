@@ -1,0 +1,38 @@
+package xqparse
+
+import (
+	"testing"
+
+	"gcx/internal/analysis"
+)
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// go through static analysis without panicking either. Run with
+// `go test -fuzz FuzzParse ./internal/xqparse` for continuous fuzzing;
+// the seed corpus runs as part of the normal test suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		PaperQuery,
+		`for $x in /a/b where $x/@id = "1" return sum($x/c)`,
+		`<w a="{$x/@id}">{ if (exists /a//b) then count(/a/b) else () }</w>`,
+		`$x/descendant-or-self::node()`,
+		`for $x in /a return (for $y in /b return if ($y/k = $x/k) then $y else ())`,
+		`(: comment :) "lit"`,
+		`<a>{{esc}}</a>`,
+		`for $x in`,
+		`<a><b>{$x}</a></b>`,
+		`$x//@id`,
+		`if (not($x/a = 5)) then true() else $y`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		// accepted queries must analyze or fail cleanly
+		_, _ = analysis.Analyze(q)
+	})
+}

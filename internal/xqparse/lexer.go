@@ -1,0 +1,347 @@
+// Package xqparse parses the composition-free XQuery fragment supported
+// by GCX (paper §3): nested for-loops, conditions with exists /
+// comparisons / boolean connectives, direct element constructors,
+// variable and path output — plus the count() extension. The parser is a
+// hand-written recursive-descent parser over a small lexer; direct
+// element constructors switch the lexer into raw-content mode, as
+// required by XQuery's grammar.
+package xqparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexer tokens in expression mode.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tVar    // $name (Val holds name without '$')
+	tString // "..." or '...'
+	tNumber
+	tComma
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tSlash  // /
+	tDSlash // //
+	tStar   // *
+	tAt     // @
+	tDColon // ::
+	tLt     // <   (also opens element constructors)
+	tLe     // <=
+	tGt     // >
+	tGe     // >=
+	tEq     // =
+	tNe     // !=
+)
+
+func (k tokKind) String() string {
+	names := map[tokKind]string{
+		tEOF: "end of query", tIdent: "identifier", tVar: "variable",
+		tString: "string literal", tNumber: "number", tComma: "','",
+		tLParen: "'('", tRParen: "')'", tLBrace: "'{'", tRBrace: "'}'",
+		tLBracket: "'['", tRBracket: "']'", tSlash: "'/'", tDSlash: "'//'",
+		tStar: "'*'", tAt: "'@'", tDColon: "'::'", tLt: "'<'", tLe: "'<='",
+		tGt: "'>'", tGe: "'>='", tEq: "'='", tNe: "'!='",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+type token struct {
+	Kind tokKind
+	Val  string
+	Pos  int
+}
+
+// Error is a query parse error with a byte position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("xquery parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer tokenizes query text. The parser drives mode switches by calling
+// the raw* methods directly when inside direct element constructors.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpace skips whitespace and (: ... :) comments (nesting supported).
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			depth := 1
+			start := l.pos
+			l.pos += 2
+			for depth > 0 {
+				if l.pos+1 >= len(l.src) {
+					return l.errf(start, "unterminated comment")
+				}
+				switch {
+				case l.src[l.pos] == '(' && l.src[l.pos+1] == ':':
+					depth++
+					l.pos += 2
+				case l.src[l.pos] == ':' && l.src[l.pos+1] == ')':
+					depth--
+					l.pos += 2
+				default:
+					l.pos++
+				}
+			}
+			continue
+		}
+		break
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.'
+}
+
+// ident reads an identifier at the current position.
+func (l *lexer) ident() (string, error) {
+	start := l.pos
+	if l.pos >= len(l.src) || !isIdentStart(l.src[l.pos]) {
+		return "", l.errf(l.pos, "expected name")
+	}
+	for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos], nil
+}
+
+// next returns the next expression-mode token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{Kind: tEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch c {
+	case ',':
+		l.pos++
+		return token{Kind: tComma, Pos: start}, nil
+	case '(':
+		l.pos++
+		return token{Kind: tLParen, Pos: start}, nil
+	case ')':
+		l.pos++
+		return token{Kind: tRParen, Pos: start}, nil
+	case '{':
+		l.pos++
+		return token{Kind: tLBrace, Pos: start}, nil
+	case '}':
+		l.pos++
+		return token{Kind: tRBrace, Pos: start}, nil
+	case '[':
+		l.pos++
+		return token{Kind: tLBracket, Pos: start}, nil
+	case ']':
+		l.pos++
+		return token{Kind: tRBracket, Pos: start}, nil
+	case '*':
+		l.pos++
+		return token{Kind: tStar, Pos: start}, nil
+	case '@':
+		l.pos++
+		return token{Kind: tAt, Pos: start}, nil
+	case '/':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			return token{Kind: tDSlash, Pos: start}, nil
+		}
+		return token{Kind: tSlash, Pos: start}, nil
+	case ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			l.pos += 2
+			return token{Kind: tDColon, Pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected ':'")
+	case '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{Kind: tLe, Pos: start}, nil
+		}
+		return token{Kind: tLt, Pos: start}, nil
+	case '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{Kind: tGe, Pos: start}, nil
+		}
+		return token{Kind: tGt, Pos: start}, nil
+	case '=':
+		l.pos++
+		return token{Kind: tEq, Pos: start}, nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{Kind: tNe, Pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case '$':
+		l.pos++
+		name, err := l.ident()
+		if err != nil {
+			return token{}, l.errf(start, "malformed variable name after '$'")
+		}
+		return token{Kind: tVar, Val: name, Pos: start}, nil
+	case '"', '\'':
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], c)
+		if end < 0 {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		val := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{Kind: tString, Val: val, Pos: start}, nil
+	}
+	if c >= '0' && c <= '9' {
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{Kind: tNumber, Val: l.src[start:l.pos], Pos: start}, nil
+	}
+	if isIdentStart(c) {
+		name, err := l.ident()
+		if err != nil {
+			return token{}, err
+		}
+		return token{Kind: tIdent, Val: name, Pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+// --- raw (element-constructor) mode -------------------------------------
+
+// rawContentEvent describes what terminated a raw content scan.
+type rawContentEvent uint8
+
+const (
+	rawOpenTag  rawContentEvent = iota // '<' followed by a name
+	rawCloseTag                        // '</'
+	rawBrace                           // '{'
+	rawEOF
+)
+
+// rawContent reads literal element content up to the next markup
+// boundary. The terminating construct itself is consumed for '{' and
+// '</', while '<' of a nested open tag is consumed too (the caller
+// continues with rawTagRest). Escapes {{ and }} yield literal braces.
+func (l *lexer) rawContent() (text string, ev rawContentEvent, err error) {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '<':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+				l.pos += 2
+				return b.String(), rawCloseTag, nil
+			}
+			l.pos++
+			return b.String(), rawOpenTag, nil
+		case '{':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '{' {
+				b.WriteByte('{')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), rawBrace, nil
+		case '}':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '}' {
+				b.WriteByte('}')
+				l.pos += 2
+				continue
+			}
+			return "", 0, l.errf(l.pos, "unescaped '}' in element content")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return b.String(), rawEOF, nil
+}
+
+// rawName reads an element or attribute name in tag context.
+func (l *lexer) rawName() (string, error) {
+	return l.ident()
+}
+
+func (l *lexer) rawSkipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return
+		}
+		l.pos++
+	}
+}
+
+// rawByte consumes and returns the next byte.
+func (l *lexer) rawByte() (byte, error) {
+	if l.pos >= len(l.src) {
+		return 0, l.errf(l.pos, "unexpected end of query in element constructor")
+	}
+	b := l.src[l.pos]
+	l.pos++
+	return b, nil
+}
+
+// rawPeek returns the next byte without consuming it (0 at EOF).
+func (l *lexer) rawPeek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+// rawAttrValue reads a quoted attribute value.
+func (l *lexer) rawAttrValue() (string, error) {
+	q, err := l.rawByte()
+	if err != nil {
+		return "", err
+	}
+	if q != '"' && q != '\'' {
+		return "", l.errf(l.pos-1, "expected quoted attribute value")
+	}
+	end := strings.IndexByte(l.src[l.pos:], q)
+	if end < 0 {
+		return "", l.errf(l.pos, "unterminated attribute value")
+	}
+	val := l.src[l.pos : l.pos+end]
+	l.pos += end + 1
+	return val, nil
+}

@@ -1,0 +1,265 @@
+package xqparse
+
+import (
+	"strings"
+	"testing"
+
+	"gcx/internal/xpath"
+	"gcx/internal/xqast"
+)
+
+// PaperQuery is the running example of the paper (§1).
+const PaperQuery = `<r> {
+for $bib in /bib return
+(for $x in $bib/* return
+   if (not(exists $x/price)) then $x else (),
+ for $b in $bib/book return $b/title)
+} </r>`
+
+func mustParse(t *testing.T, src string) *xqast.Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	q := mustParse(t, PaperQuery)
+	el, ok := q.Body.(*xqast.Element)
+	if !ok || el.Name != "r" {
+		t.Fatalf("body = %#v, want <r> element", q.Body)
+	}
+	outer, ok := el.Content.(*xqast.ForExpr)
+	if !ok || outer.Var != "bib" {
+		t.Fatalf("content = %#v, want for $bib", el.Content)
+	}
+	if outer.In.Base != xqast.RootVar || outer.In.Path.String() != "/bib" {
+		t.Fatalf("outer binding = %s/%s", outer.In.Base, outer.In.Path)
+	}
+	seq, ok := outer.Body.(*xqast.Sequence)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("outer body = %#v, want 2-item sequence", outer.Body)
+	}
+	f1, ok := seq.Items[0].(*xqast.ForExpr)
+	if !ok || f1.Var != "x" || f1.In.Path.String() != "/*" || f1.In.Base != "bib" {
+		t.Fatalf("first loop = %#v", seq.Items[0])
+	}
+	iff, ok := f1.Body.(*xqast.IfExpr)
+	if !ok {
+		t.Fatalf("first loop body = %#v", f1.Body)
+	}
+	not, ok := iff.Cond.(*xqast.NotCond)
+	if !ok {
+		t.Fatalf("cond = %#v", iff.Cond)
+	}
+	ex, ok := not.C.(*xqast.ExistsCond)
+	if !ok || ex.Arg.Base != "x" || ex.Arg.Path.String() != "/price" {
+		t.Fatalf("exists = %#v", not.C)
+	}
+	if _, ok := iff.Then.(*xqast.VarRef); !ok {
+		t.Fatalf("then = %#v", iff.Then)
+	}
+	if _, ok := iff.Else.(*xqast.Empty); !ok {
+		t.Fatalf("else = %#v", iff.Else)
+	}
+	f2, ok := seq.Items[1].(*xqast.ForExpr)
+	if !ok || f2.Var != "b" || f2.In.Path.String() != "/book" {
+		t.Fatalf("second loop = %#v", seq.Items[1])
+	}
+	pe, ok := f2.Body.(*xqast.PathExpr)
+	if !ok || pe.Base != "b" || pe.Path.String() != "/title" {
+		t.Fatalf("second body = %#v", f2.Body)
+	}
+}
+
+func TestParseMultiStepAndDescendant(t *testing.T) {
+	q := mustParse(t, `for $i in /site/regions//item return $i/name`)
+	f := q.Body.(*xqast.ForExpr)
+	if got := f.In.Path.String(); got != "/site/regions/descendant::item" {
+		t.Fatalf("binding path = %q", got)
+	}
+}
+
+func TestParseExplicitAxes(t *testing.T) {
+	q := mustParse(t, `$x/descendant-or-self::node()`)
+	pe := q.Body.(*xqast.PathExpr)
+	if pe.Path.String() != "/descendant-or-self::node()" {
+		t.Fatalf("path = %q", pe.Path)
+	}
+	q = mustParse(t, `$x/self::node()`)
+	pe = q.Body.(*xqast.PathExpr)
+	if pe.Path.Steps[0].Axis != xpath.Self {
+		t.Fatal("self axis not parsed")
+	}
+	q = mustParse(t, `$x/child::price[1]`)
+	pe = q.Body.(*xqast.PathExpr)
+	if !pe.Path.Steps[0].FirstOnly {
+		t.Fatal("[1] not parsed")
+	}
+	q = mustParse(t, `$x/text()`)
+	pe = q.Body.(*xqast.PathExpr)
+	if pe.Path.Steps[0].Test.Kind != xpath.TestText {
+		t.Fatal("text() not parsed")
+	}
+	q = mustParse(t, `$x/attribute::id`)
+	pe = q.Body.(*xqast.PathExpr)
+	if pe.Path.Steps[0].Axis != xpath.Attribute || pe.Path.Steps[0].Test.Name != "id" {
+		t.Fatal("attribute:: axis not parsed")
+	}
+}
+
+func TestParseAttributePath(t *testing.T) {
+	q := mustParse(t, `if ($p/@id = "person0") then $p/name else ()`)
+	iff := q.Body.(*xqast.IfExpr)
+	cmp := iff.Cond.(*xqast.CompareCond)
+	if cmp.Op != xqast.CmpEq {
+		t.Fatalf("op = %v", cmp.Op)
+	}
+	if cmp.L.Kind != xqast.OperandPath || cmp.L.Path.Path.String() != "/@id" {
+		t.Fatalf("left operand = %#v", cmp.L)
+	}
+	if cmp.R.Kind != xqast.OperandString || cmp.R.Str != "person0" {
+		t.Fatalf("right operand = %#v", cmp.R)
+	}
+}
+
+func TestParseNumericComparisonAndBoolOps(t *testing.T) {
+	q := mustParse(t, `if ($p/@income > 95000 and not($p/@income <= 30000) or false()) then "y" else "n"`)
+	iff := q.Body.(*xqast.IfExpr)
+	or, ok := iff.Cond.(*xqast.OrCond)
+	if !ok {
+		t.Fatalf("cond = %#v, want or at top (and binds tighter)", iff.Cond)
+	}
+	and, ok := or.L.(*xqast.AndCond)
+	if !ok {
+		t.Fatalf("or.L = %#v", or.L)
+	}
+	cmp := and.L.(*xqast.CompareCond)
+	if cmp.Op != xqast.CmpGt || cmp.R.Num != 95000 {
+		t.Fatalf("cmp = %#v", cmp)
+	}
+	if _, ok := and.R.(*xqast.NotCond); !ok {
+		t.Fatalf("and.R = %#v", and.R)
+	}
+	if bl, ok := or.R.(*xqast.BoolLit); !ok || bl.Value {
+		t.Fatalf("or.R = %#v", or.R)
+	}
+}
+
+func TestParseElementWithLiteralContentAndAttrs(t *testing.T) {
+	q := mustParse(t, `<item id="i1"> head <b>bold</b> {$x/name} tail </item>`)
+	el := q.Body.(*xqast.Element)
+	if len(el.Attrs) != 1 || el.Attrs[0].Name != "id" || el.Attrs[0].Lit != "i1" {
+		t.Fatalf("attrs = %#v", el.Attrs)
+	}
+	seq, ok := el.Content.(*xqast.Sequence)
+	if !ok || len(seq.Items) != 4 {
+		t.Fatalf("content = %#v", el.Content)
+	}
+	if lit := seq.Items[0].(*xqast.StringLit); strings.TrimSpace(lit.Value) != "head" {
+		t.Fatalf("item0 = %#v", seq.Items[0])
+	}
+	if b := seq.Items[1].(*xqast.Element); b.Name != "b" {
+		t.Fatalf("item1 = %#v", seq.Items[1])
+	}
+	if pe := seq.Items[2].(*xqast.PathExpr); pe.Base != "x" {
+		t.Fatalf("item2 = %#v", seq.Items[2])
+	}
+}
+
+func TestParseBraceEscapes(t *testing.T) {
+	q := mustParse(t, `<a>{{literal}}</a>`)
+	el := q.Body.(*xqast.Element)
+	lit, ok := el.Content.(*xqast.StringLit)
+	if !ok || lit.Value != "{literal}" {
+		t.Fatalf("content = %#v", el.Content)
+	}
+}
+
+func TestParseSelfClosingConstructor(t *testing.T) {
+	q := mustParse(t, `<a/>`)
+	el := q.Body.(*xqast.Element)
+	if el.Name != "a" {
+		t.Fatal("self-closing constructor")
+	}
+	if _, ok := el.Content.(*xqast.Empty); !ok {
+		t.Fatal("content should be empty")
+	}
+}
+
+func TestParseCount(t *testing.T) {
+	q := mustParse(t, `count($x/bidder)`)
+	c := q.Body.(*xqast.AggExpr)
+	if c.Arg.Base != "x" || c.Arg.Path.String() != "/bidder" {
+		t.Fatalf("count arg = %#v", c.Arg)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := mustParse(t, `(: outer (: nested :) :) for $x in /a return (: mid :) $x`)
+	if _, ok := q.Body.(*xqast.ForExpr); !ok {
+		t.Fatalf("body = %#v", q.Body)
+	}
+}
+
+func TestParseSequenceAndEmpty(t *testing.T) {
+	q := mustParse(t, `("a", (), "b", ("c", "d"))`)
+	seq := q.Body.(*xqast.Sequence)
+	if len(seq.Items) != 4 {
+		t.Fatalf("items = %d, want 4 (empty dropped, nested flattened)", len(seq.Items))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`for $x in /a`,
+		`for x in /a return $x`,
+		`for $x in $y return`,
+		`if ($x/a = "b") then "y"`,
+		`<a>{$x}</b>`,
+		`<a>`,
+		`$x/`,
+		`$x/@id/name`,
+		`$x/a[2]`,
+		`$x/unknownaxis::b`,
+		`exists`,
+		`count($x`,
+		`"unterminated`,
+		`(: unterminated comment`,
+		`for $x in $y/@id return $x`,
+		`<a>}</a>`,
+		`$x ,`,
+		`if ($x/a ~ "b") then "y" else "n"`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", src)
+		}
+	}
+}
+
+// TestPrintParseRoundTrip checks Print output re-parses to an equivalent
+// tree for a representative set of queries.
+func TestPrintParseRoundTrip(t *testing.T) {
+	queries := []string{
+		PaperQuery,
+		`for $i in /site/regions//item return <item>{$i/name}</item>`,
+		`if (exists $x/a) then count($x/a) else "none"`,
+		`<out a="b">{("x", $v, /a/b/text())}</out>`,
+	}
+	for _, src := range queries {
+		q1 := mustParse(t, src)
+		printed := xqast.Print(q1)
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of printed query failed: %v\nprinted:\n%s", err, printed)
+			continue
+		}
+		if p1, p2 := xqast.Print(q1), xqast.Print(q2); p1 != p2 {
+			t.Errorf("round trip not stable:\nfirst:\n%s\nsecond:\n%s", p1, p2)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package xqvalue centralizes the value semantics shared by the
+// streaming engine and the DOM reference engine: XPath-1.0-style
+// general comparisons over string values and the aggregation functions
+// of the count()/sum()/min()/max()/avg() extension. Keeping one
+// implementation guarantees the engines stay byte-identical — the
+// property the differential tests enforce.
+package xqvalue
+
+import (
+	"strconv"
+	"strings"
+)
+
+// CmpOp mirrors xqast.CmpOp without importing it (both packages are
+// leaves; the AST package defines syntax, this one semantics).
+type CmpOp uint8
+
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// ParseNumber converts a string value to a float, XPath-style (leading
+// and trailing whitespace ignored).
+func ParseNumber(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return f, err == nil
+}
+
+// FormatNumber renders a float the way the engines emit numeric
+// results: integers without a decimal point.
+func FormatNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+// Compare applies one comparison between two string values. When
+// numeric is set (a number literal or an ordering operator is
+// involved), both sides must parse as numbers, otherwise the pair does
+// not satisfy the comparison.
+func Compare(op CmpOp, l, r string, numeric bool) bool {
+	if numeric {
+		lf, ok1 := ParseNumber(l)
+		rf, ok2 := ParseNumber(r)
+		if !ok1 || !ok2 {
+			return false
+		}
+		switch op {
+		case Eq:
+			return lf == rf
+		case Ne:
+			return lf != rf
+		case Lt:
+			return lf < rf
+		case Le:
+			return lf <= rf
+		case Gt:
+			return lf > rf
+		case Ge:
+			return lf >= rf
+		}
+		return false
+	}
+	switch op {
+	case Eq:
+		return l == r
+	case Ne:
+		return l != r
+	}
+	return false
+}
+
+// ExistsPair reports whether any pair from the two value sequences
+// satisfies the comparison (general-comparison existential semantics).
+func ExistsPair(op CmpOp, left, right []string, numeric bool) bool {
+	for _, l := range left {
+		for _, r := range right {
+			if Compare(op, l, r, numeric) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AggFunc is an aggregation function of the extension.
+type AggFunc uint8
+
+const (
+	Count AggFunc = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	default:
+		return "agg?"
+	}
+}
+
+// ParseAggFunc resolves an aggregation function name; ok is false for
+// non-aggregate names.
+func ParseAggFunc(name string) (AggFunc, bool) {
+	switch name {
+	case "count":
+		return Count, true
+	case "sum":
+		return Sum, true
+	case "min":
+		return Min, true
+	case "max":
+		return Max, true
+	case "avg":
+		return Avg, true
+	default:
+		return 0, false
+	}
+}
+
+// Aggregate computes fn over the string values of the selected nodes.
+// count counts nodes; sum treats non-numeric values as 0 is NOT done —
+// following XQuery's fn:sum over untyped values, every value must be
+// numeric, and non-numeric values are skipped with their presence
+// ignored (documented deviation: the fragment has no error values).
+// For min/max/avg of an empty (or all-non-numeric) sequence the result
+// is absent and nothing is emitted.
+func Aggregate(fn AggFunc, values []string) (string, bool) {
+	if fn == Count {
+		return strconv.Itoa(len(values)), true
+	}
+	var nums []float64
+	for _, v := range values {
+		if f, ok := ParseNumber(v); ok {
+			nums = append(nums, f)
+		}
+	}
+	switch fn {
+	case Sum:
+		total := 0.0
+		for _, f := range nums {
+			total += f
+		}
+		return FormatNumber(total), true
+	case Min, Max:
+		if len(nums) == 0 {
+			return "", false
+		}
+		best := nums[0]
+		for _, f := range nums[1:] {
+			if (fn == Min && f < best) || (fn == Max && f > best) {
+				best = f
+			}
+		}
+		return FormatNumber(best), true
+	case Avg:
+		if len(nums) == 0 {
+			return "", false
+		}
+		total := 0.0
+		for _, f := range nums {
+			total += f
+		}
+		return FormatNumber(total / float64(len(nums))), true
+	}
+	return "", false
+}
+
+// JoinSpace renders an attribute-value-template result: the selected
+// values joined with single spaces (XQuery attribute content rule).
+func JoinSpace(values []string) string {
+	return strings.Join(values, " ")
+}

@@ -1,0 +1,164 @@
+package xqvalue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNumber(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{" 3.5\n", 3.5, true},
+		{"-7", -7, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"1e3", 1000, true},
+	}
+	for _, c := range cases {
+		got, ok := ParseNumber(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseNumber(%q) = %v, %v", c.in, got, ok)
+		}
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	if FormatNumber(42) != "42" {
+		t.Error("integers must print without a decimal point")
+	}
+	if FormatNumber(3.5) != "3.5" {
+		t.Error("3.5")
+	}
+	if FormatNumber(-0.25) != "-0.25" {
+		t.Error("-0.25")
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	if !Compare(Eq, "a", "a", false) || Compare(Eq, "a", "b", false) {
+		t.Error("string eq")
+	}
+	if !Compare(Ne, "a", "b", false) || Compare(Ne, "a", "a", false) {
+		t.Error("string ne")
+	}
+	// orderings are numeric-only: non-numeric pairs fail
+	if Compare(Lt, "a", "b", true) {
+		t.Error("non-numeric ordering must fail")
+	}
+}
+
+func TestCompareNumeric(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r string
+		want bool
+	}{
+		{Eq, "1.0", "1", true},
+		{Ne, "1.0", "1", false},
+		{Lt, "2", "10", true},
+		{Le, "10", "10", true},
+		{Gt, "95000.5", "95000", true},
+		{Ge, "5", "6", false},
+	}
+	for _, c := range cases {
+		if got := Compare(c.op, c.l, c.r, true); got != c.want {
+			t.Errorf("Compare(%v, %q, %q) = %v", c.op, c.l, c.r, got)
+		}
+	}
+}
+
+func TestExistsPair(t *testing.T) {
+	if !ExistsPair(Eq, []string{"a", "b"}, []string{"c", "b"}, false) {
+		t.Error("existential positive")
+	}
+	if ExistsPair(Eq, []string{"a"}, nil, false) {
+		t.Error("empty right must be false")
+	}
+	if ExistsPair(Eq, nil, nil, false) {
+		t.Error("empty both must be false")
+	}
+}
+
+func TestParseAggFunc(t *testing.T) {
+	for name, want := range map[string]AggFunc{
+		"count": Count, "sum": Sum, "min": Min, "max": Max, "avg": Avg,
+	} {
+		got, ok := ParseAggFunc(name)
+		if !ok || got != want {
+			t.Errorf("ParseAggFunc(%q) = %v, %v", name, got, ok)
+		}
+		if got.String() != name {
+			t.Errorf("%v.String() = %q", got, got.String())
+		}
+	}
+	if _, ok := ParseAggFunc("median"); ok {
+		t.Error("unknown aggregate accepted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	vals := []string{"3", "1.5", "x", "2"}
+	cases := []struct {
+		fn   AggFunc
+		want string
+		ok   bool
+	}{
+		{Count, "4", true}, // count counts nodes, including non-numeric
+		{Sum, "6.5", true}, // non-numeric skipped
+		{Min, "1.5", true},
+		{Max, "3", true},
+		{Avg, "2.1666666666666665", true},
+	}
+	for _, c := range cases {
+		got, ok := Aggregate(c.fn, vals)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Aggregate(%v) = %q, %v; want %q", c.fn, got, ok, c.want)
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if got, ok := Aggregate(Count, nil); !ok || got != "0" {
+		t.Error("count of empty = 0")
+	}
+	if got, ok := Aggregate(Sum, nil); !ok || got != "0" {
+		t.Error("sum of empty = 0")
+	}
+	for _, fn := range []AggFunc{Min, Max, Avg} {
+		if _, ok := Aggregate(fn, nil); ok {
+			t.Errorf("%v of empty must be absent", fn)
+		}
+		if _, ok := Aggregate(fn, []string{"x"}); ok {
+			t.Errorf("%v of all-non-numeric must be absent", fn)
+		}
+	}
+}
+
+// TestCompareAntisymmetry: numeric Lt/Gt are mirror images (property).
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int32) bool {
+		l, r := FormatNumber(float64(a)), FormatNumber(float64(b))
+		if a == b {
+			return Compare(Le, l, r, true) && Compare(Ge, l, r, true) &&
+				!Compare(Lt, l, r, true) && !Compare(Ne, l, r, true)
+		}
+		return Compare(Lt, l, r, true) == Compare(Gt, r, l, true) &&
+			Compare(Lt, l, r, true) != Compare(Ge, l, r, true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinSpace(t *testing.T) {
+	if JoinSpace([]string{"a", "b"}) != "a b" {
+		t.Error("join")
+	}
+	if JoinSpace(nil) != "" {
+		t.Error("empty join")
+	}
+}
