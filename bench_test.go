@@ -205,6 +205,56 @@ func BenchmarkAblationDiscipline(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelExecute measures the concurrent-service path: one
+// shared compiled query, executions fanned out over GOMAXPROCS
+// goroutines (b.RunParallel), allocations reported so the pooling of
+// tokenizer scratch, serializer buffers and buffer-manager node slabs
+// stays measurable.
+func BenchmarkParallelExecute(b *testing.B) {
+	doc := xmarkDoc(b, 1<<20)
+	for _, qid := range []string{"Q1", "Q6"} {
+		q, err := gcx.Compile(xmark.Queries[qid].Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(qid, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := q.Execute(strings.NewReader(doc), io.Discard, gcx.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkQueryCache measures the hot-query service path: concurrent
+// lookups of an already-compiled query followed by execution, the
+// steady state of cmd/gcxd under load.
+func BenchmarkQueryCache(b *testing.B) {
+	doc := xmark.BibDocument(xmark.Fig3bKinds())
+	cache := gcx.NewQueryCache(16)
+	if _, err := cache.Get(xmark.PaperQuery); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q, err := cache.Get(xmark.PaperQuery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := q.Execute(strings.NewReader(doc), io.Discard, gcx.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSubstrateTokenizer measures raw tokenizer throughput — the
 // lower bound on any streaming engine's runtime.
 func BenchmarkSubstrateTokenizer(b *testing.B) {
@@ -221,6 +271,7 @@ func BenchmarkSubstrateTokenizer(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		tz.Release()
 	}
 }
 

@@ -1,0 +1,110 @@
+package gcx
+
+import (
+	"container/list"
+	"sync"
+)
+
+// QueryCache is a thread-safe LRU cache of compiled queries, keyed by
+// query source plus CompileOptions. It exists for serving scenarios
+// where the same (hot) queries arrive repeatedly: compilation — parse,
+// normalization, projection-path derivation, signOff insertion — runs
+// once per distinct query, and concurrent requests for a query that is
+// still compiling block until that one compilation finishes instead of
+// compiling it again.
+type QueryCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	entries  map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type cacheKey struct {
+	src  string
+	opts CompileOptions
+}
+
+// cacheEntry is a cache slot. ready is closed once q/err are set, so
+// concurrent getters of an in-flight compilation can wait without
+// holding the cache lock.
+type cacheEntry struct {
+	key   cacheKey
+	ready chan struct{}
+	q     *Query
+	err   error
+}
+
+// NewQueryCache returns a cache holding up to capacity compiled
+// queries. A capacity below 1 is treated as 1.
+func NewQueryCache(capacity int) *QueryCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &QueryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the compiled form of src, compiling with the default
+// analysis on a miss.
+func (c *QueryCache) Get(src string) (*Query, error) {
+	return c.GetWithOptions(src, CompileOptions{})
+}
+
+// GetWithOptions returns the compiled form of (src, opts), compiling on
+// a miss. Identical concurrent misses share a single compilation.
+// Failed compilations are not cached; a later Get retries.
+func (c *QueryCache) GetWithOptions(src string, opts CompileOptions) (*Query, error) {
+	key := cacheKey{src: src, opts: opts}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		entry := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-entry.ready
+		return entry.q, entry.err
+	}
+	c.misses++
+	entry := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.ll.PushFront(entry)
+	c.entries[key] = el
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+
+	entry.q, entry.err = CompileWithOptions(src, opts)
+	if entry.err != nil {
+		c.mu.Lock()
+		// Drop the failed slot unless it was already evicted (or, after
+		// an eviction, re-inserted by someone else).
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.ll.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	close(entry.ready)
+	return entry.q, entry.err
+}
+
+// Len reports the number of cached (including in-flight) queries.
+func (c *QueryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports the cache's lifetime hit and miss counts.
+func (c *QueryCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

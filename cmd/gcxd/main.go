@@ -1,0 +1,196 @@
+// Command gcxd is the GCX query server: a concurrent HTTP front end
+// over the streaming engine. Each request carries an XQuery (header or
+// URL parameter) plus the XML input as the request body; the serialized
+// result streams back as the response body while the input is still
+// being read, so neither side is ever buffered whole. Compiled queries
+// are shared across requests through a thread-safe LRU cache, and every
+// execution runs under the request's context — a disconnecting client
+// cancels its run within one input token.
+//
+// Usage:
+//
+//	gcxd [-addr :8090] [-cache 256]
+//
+//	curl -X POST --data-binary @bib.xml \
+//	     'http://localhost:8090/query?query=<out>{ for $b in /bib/book return $b/title }</out>'
+//
+// Endpoints:
+//
+//	POST /query   evaluate a query (see below)
+//	GET  /healthz liveness probe
+//	GET  /stats   JSON counters: requests, cache hits/misses, bytes out
+//
+// POST /query reads the query text from the X-GCX-Query header or the
+// "query" URL parameter, and the XML document from the request body.
+// Optional URL parameters: engine=gcx|projection|dom (default gcx),
+// signoff=deferred|eager (default deferred), agg=1 to enable the
+// aggregation extension. Execution statistics arrive as HTTP trailers
+// (X-Gcx-Tokens, X-Gcx-Peak-Nodes); an error after streaming has begun
+// is reported in the X-Gcx-Error trailer, since the status line is
+// already on the wire.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"gcx"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	cacheSize := flag.Int("cache", 256, "compiled-query cache capacity")
+	flag.Parse()
+
+	srv := newServer(*cacheSize)
+	// No ReadTimeout/WriteTimeout: query streams are legitimately
+	// long-lived. Header and idle timeouts keep stalled connections
+	// from pinning handler goroutines forever.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("gcxd listening on %s", *addr)
+	log.Fatal(hs.ListenAndServe())
+}
+
+// server is the gcxd HTTP handler; it is safe for concurrent use.
+type server struct {
+	mux   *http.ServeMux
+	cache *gcx.QueryCache
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	bytesOut atomic.Int64
+}
+
+func newServer(cacheSize int) *server {
+	s := &server{
+		mux:   http.NewServeMux(),
+		cache: gcx.NewQueryCache(cacheSize),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// optionsFromRequest maps URL parameters to execution options.
+func optionsFromRequest(r *http.Request) (gcx.Options, error) {
+	var opts gcx.Options
+	switch eng := r.URL.Query().Get("engine"); eng {
+	case "", "gcx":
+		opts.Engine = gcx.EngineGCX
+	case "projection":
+		opts.Engine = gcx.EngineProjectionOnly
+	case "dom":
+		opts.Engine = gcx.EngineDOM
+	default:
+		return opts, fmt.Errorf("unknown engine %q (want gcx, projection or dom)", eng)
+	}
+	switch so := r.URL.Query().Get("signoff"); so {
+	case "", "deferred":
+		opts.SignOffMode = gcx.SignOffDeferred
+	case "eager":
+		opts.SignOffMode = gcx.SignOffEager
+	default:
+		return opts, fmt.Errorf("unknown signoff mode %q (want deferred or eager)", so)
+	}
+	if agg := r.URL.Query().Get("agg"); agg == "1" || agg == "true" {
+		opts.EnableAggregation = true
+	}
+	return opts, nil
+}
+
+// countingWriter tracks whether (and how much of) the response body has
+// hit the wire, which decides between a clean error status and an error
+// trailer on a stream that already started.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST with the XML document as request body")
+		return
+	}
+	src := r.Header.Get("X-GCX-Query")
+	if src == "" {
+		src = r.URL.Query().Get("query")
+	}
+	if src == "" {
+		s.fail(w, http.StatusBadRequest, "missing query: pass the X-GCX-Query header or the ?query= parameter")
+		return
+	}
+	opts, err := optionsFromRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := s.cache.Get(src)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "compile error: "+err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes")
+	cw := &countingWriter{w: w}
+	res, err := q.ExecuteContext(r.Context(), r.Body, cw, opts)
+	s.bytesOut.Add(cw.n)
+	if err != nil {
+		if cw.n == 0 {
+			// Nothing streamed yet: the status line is still ours.
+			s.fail(w, http.StatusUnprocessableEntity, "execution error: "+err.Error())
+			return
+		}
+		s.errors.Add(1)
+		w.Header().Set("X-Gcx-Error", err.Error())
+		return
+	}
+	w.Header().Set("X-Gcx-Tokens", fmt.Sprint(res.TokensProcessed))
+	w.Header().Set("X-Gcx-Peak-Nodes", fmt.Sprint(res.PeakBufferedNodes))
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, msg string) {
+	s.errors.Add(1)
+	http.Error(w, msg, code)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"requests":     s.requests.Load(),
+		"errors":       s.errors.Load(),
+		"bytes_out":    s.bytesOut.Load(),
+		"cache_len":    s.cache.Len(),
+		"cache_hits":   hits,
+		"cache_misses": misses,
+	})
+}

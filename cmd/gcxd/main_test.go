@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"gcx"
+)
+
+const testQuery = `<out>{ for $b in /bib/book return $b/title }</out>`
+
+// testDoc builds a distinct input per stream id so concurrent requests
+// can be told apart by their outputs.
+func testDoc(id, books int) string {
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < books; i++ {
+		fmt.Fprintf(&sb, "<book><title>t%d-%d</title><price>%d</price></book>", id, i, i)
+	}
+	sb.WriteString("</bib>")
+	return sb.String()
+}
+
+func expectedOutput(t *testing.T, query, doc string) string {
+	t.Helper()
+	q, err := gcx.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := q.ExecuteString(doc, gcx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func postQuery(t *testing.T, baseURL, query, doc, params string) (*http.Response, string) {
+	t.Helper()
+	u := baseURL + "/query?query=" + url.QueryEscape(query)
+	if params != "" {
+		u += "&" + params
+	}
+	resp, err := http.Post(u, "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+// TestServerConcurrentRequests drives the full HTTP path with many
+// concurrent streams sharing one cached query, checking each response
+// against the sequential engine output.
+func TestServerConcurrentRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer(8))
+	defer ts.Close()
+
+	const goroutines = 16
+	want := make([]string, goroutines)
+	docs := make([]string, goroutines)
+	for i := range docs {
+		docs[i] = testDoc(i, 20+i)
+		want[i] = expectedOutput(t, testQuery, docs[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postQuery(t, ts.URL, testQuery, docs[i], "")
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("stream %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			if body != want[i] {
+				errs <- fmt.Errorf("stream %d: got %q, want %q", i, body, want[i])
+				return
+			}
+			if got := resp.Trailer.Get("X-Gcx-Tokens"); got == "" {
+				errs <- fmt.Errorf("stream %d: missing X-Gcx-Tokens trailer", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, body := postQuery(t, ts.URL, testQuery, docs[0], "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up request: status %d: %s", resp.StatusCode, body)
+	}
+	var stats struct {
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheMisses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one compile for the shared query)", stats.CacheMisses)
+	}
+	if stats.CacheHits < goroutines {
+		t.Errorf("cache hits = %d, want >= %d", stats.CacheHits, goroutines)
+	}
+}
+
+func TestServerEngines(t *testing.T) {
+	ts := httptest.NewServer(newServer(8))
+	defer ts.Close()
+
+	doc := testDoc(0, 10)
+	want := expectedOutput(t, testQuery, doc)
+	for _, engine := range []string{"gcx", "projection", "dom"} {
+		resp, body := postQuery(t, ts.URL, testQuery, doc, "engine="+engine)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %s: status %d: %s", engine, resp.StatusCode, body)
+		}
+		if body != want {
+			t.Errorf("engine %s: got %q, want %q", engine, body, want)
+		}
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts := httptest.NewServer(newServer(8))
+	defer ts.Close()
+
+	// Missing query.
+	resp, err := http.Post(ts.URL+"/query", "application/xml", strings.NewReader("<a/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query: status %d, want 400", resp.StatusCode)
+	}
+
+	// Malformed query.
+	resp, body := postQuery(t, ts.URL, "for $x in", "<a/>", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed query: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+
+	// Unknown engine parameter.
+	resp, body = postQuery(t, ts.URL, testQuery, "<bib/>", "engine=warp")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown engine: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+
+	// Malformed input document: nothing streamed yet (the first token
+	// already fails), so a clean error status is expected.
+	resp, body = postQuery(t, ts.URL, testQuery, "<bib><book>", "")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("malformed input: status %d, want 422 (%s)", resp.StatusCode, body)
+	}
+
+	// GET on /query.
+	gresp, err := http.Get(ts.URL + "/query?query=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d, want 405", gresp.StatusCode)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	ts := httptest.NewServer(newServer(1))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,225 @@
+package gcx_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"gcx"
+)
+
+const concurrentQuery = `<out>{ for $b in /bib/book return
+	if ($b/price < 50) then $b/title else () }</out>`
+
+// concurrentDoc builds a distinct document per stream id, large enough
+// that executions genuinely interleave.
+func concurrentDoc(id, books int) string {
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < books; i++ {
+		fmt.Fprintf(&sb, "<book><title>s%d-b%d</title><price>%d</price></book>", id, i, (i*7)%100)
+	}
+	sb.WriteString("</bib>")
+	return sb.String()
+}
+
+// TestConcurrentSharedQuery exercises the documented contract that one
+// compiled *Query may serve many goroutines at once: 12 goroutines × 5
+// rounds over distinct inputs, each output compared byte-for-byte with
+// the sequential execution of the same stream. Run with -race.
+func TestConcurrentSharedQuery(t *testing.T) {
+	q, err := gcx.Compile(concurrentQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 12
+	const rounds = 5
+	docs := make([]string, goroutines)
+	want := make([]string, goroutines)
+	for i := range docs {
+		docs[i] = concurrentDoc(i, 200+i)
+		out, _, err := q.ExecuteString(docs[i], gcx.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var out strings.Builder
+				res, err := q.ExecuteContext(context.Background(), strings.NewReader(docs[i]), &out, gcx.Options{})
+				if err != nil {
+					errs <- fmt.Errorf("stream %d round %d: %v", i, r, err)
+					return
+				}
+				if out.String() != want[i] {
+					errs <- fmt.Errorf("stream %d round %d: output diverged from sequential run", i, r)
+					return
+				}
+				if res.FinalBufferedNodes != 0 {
+					errs <- fmt.Errorf("stream %d round %d: %d nodes left buffered", i, r, res.FinalBufferedNodes)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentSharedQueryAllEngines shares one query across
+// goroutines running different engines simultaneously; all disciplines
+// must produce identical output.
+func TestConcurrentSharedQueryAllEngines(t *testing.T) {
+	q := gcx.MustCompile(concurrentQuery)
+	doc := concurrentDoc(0, 300)
+	want, _, err := q.ExecuteString(doc, gcx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engines := []gcx.Engine{gcx.EngineGCX, gcx.EngineProjectionOnly, gcx.EngineDOM}
+	var wg sync.WaitGroup
+	errs := make(chan error, 3*len(engines))
+	for rep := 0; rep < 3; rep++ {
+		for _, eng := range engines {
+			wg.Add(1)
+			go func(eng gcx.Engine) {
+				defer wg.Done()
+				out, _, err := q.ExecuteString(doc, gcx.Options{Engine: eng})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if out != want {
+					errs <- fmt.Errorf("engine %d diverged", eng)
+				}
+			}(eng)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// countWriter records whether anything was written to the output.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// TestExecuteContextAlreadyCancelled: a cancelled context aborts before
+// the first token and nothing reaches the output writer.
+func TestExecuteContextAlreadyCancelled(t *testing.T) {
+	q := gcx.MustCompile(concurrentQuery)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range []gcx.Engine{gcx.EngineGCX, gcx.EngineProjectionOnly, gcx.EngineDOM} {
+		var out countWriter
+		_, err := q.ExecuteContext(ctx, strings.NewReader(concurrentDoc(0, 50)), &out, gcx.Options{Engine: eng})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("engine %d: err = %v, want context.Canceled", eng, err)
+		}
+		if out.n != 0 {
+			t.Errorf("engine %d: %d bytes written after cancellation, want 0", eng, out.n)
+		}
+	}
+}
+
+// cancellingReader cancels a context after the first Read, while plenty
+// of input remains — the run must stop mid-stream.
+type cancellingReader struct {
+	r      io.Reader
+	cancel context.CancelFunc
+	reads  int
+}
+
+func (c *cancellingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.reads++
+	if c.reads == 1 {
+		c.cancel()
+	}
+	return n, err
+}
+
+// TestExecuteContextCancelMidStream: cancellation during streaming
+// aborts within one token-pull iteration — the input is not read to the
+// end and no output is flushed.
+func TestExecuteContextCancelMidStream(t *testing.T) {
+	q := gcx.MustCompile(concurrentQuery)
+	doc := concurrentDoc(1, 20000) // ~1 MB, far larger than one 64 KiB read
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cr := &cancellingReader{r: strings.NewReader(doc), cancel: cancel}
+	var out countWriter
+	_, err := q.ExecuteContext(ctx, cr, &out, gcx.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.n != 0 {
+		t.Errorf("%d bytes written after mid-stream cancellation, want 0", out.n)
+	}
+	if c := cr.reads; c > 2 {
+		t.Errorf("input read %d times after cancellation, want at most 2 (one buffered chunk)", c)
+	}
+}
+
+// TestConcurrentCancellation mixes cancelled and live executions of one
+// shared query under load. Run with -race.
+func TestConcurrentCancellation(t *testing.T) {
+	q := gcx.MustCompile(concurrentQuery)
+	doc := concurrentDoc(2, 500)
+	want, _, err := q.ExecuteString(doc, gcx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				if _, err := q.ExecuteContext(ctx, strings.NewReader(doc), io.Discard, gcx.Options{}); !errors.Is(err, context.Canceled) {
+					errs <- fmt.Errorf("goroutine %d: err = %v, want context.Canceled", i, err)
+				}
+				return
+			}
+			out, _, err := q.ExecuteString(doc, gcx.Options{})
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			if out != want {
+				errs <- fmt.Errorf("goroutine %d: output diverged", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

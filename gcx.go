@@ -28,6 +28,8 @@
 package gcx
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"strings"
 	"time"
@@ -125,7 +127,11 @@ type Result struct {
 	Series []SeriesPoint
 }
 
-// Query is a compiled query, reusable across executions.
+// Query is a compiled query, reusable across executions. A Query is
+// immutable after compilation and safe for concurrent use: any number
+// of goroutines may call Execute/ExecuteContext on the same Query over
+// distinct input streams simultaneously — all per-run state (tokenizer,
+// buffer manager, evaluator) is created per call.
 type Query struct {
 	plan *analysis.Plan
 }
@@ -197,8 +203,18 @@ func (q *Query) Explain() string { return q.plan.Explain() }
 func (q *Query) UsesAggregation() bool { return q.plan.UsesAggregation }
 
 // Execute evaluates the query over input, writing the serialized result
-// to output.
+// to output. It returns an error for Options carrying an unknown Engine
+// or SignOffMode value rather than guessing a discipline.
 func (q *Query) Execute(input io.Reader, output io.Writer, opts Options) (*Result, error) {
+	return q.ExecuteContext(context.Background(), input, output, opts)
+}
+
+// ExecuteContext evaluates the query over input under a cancellation
+// context, writing the serialized result to output. Cancellation is
+// observed at every token-pull boundary, so the run aborts within one
+// token of ctx being cancelled and returns ctx.Err() without writing
+// further output.
+func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.Writer, opts Options) (*Result, error) {
 	execOpts := core.ExecOptions{
 		EnableAggregation: opts.EnableAggregation,
 		RecordEvery:       opts.RecordEvery,
@@ -210,11 +226,18 @@ func (q *Query) Execute(input io.Reader, output io.Writer, opts Options) (*Resul
 		execOpts.Engine = core.ProjectionOnly
 	case EngineDOM:
 		execOpts.Engine = core.DOM
+	default:
+		return nil, fmt.Errorf("gcx: unknown engine %d (want EngineGCX, EngineProjectionOnly or EngineDOM)", opts.Engine)
 	}
-	if opts.SignOffMode == SignOffEager {
+	switch opts.SignOffMode {
+	case SignOffDeferred:
+		// engine.Deferred is the zero value.
+	case SignOffEager:
 		execOpts.SignOffMode = engine.Eager
+	default:
+		return nil, fmt.Errorf("gcx: unknown sign-off mode %d (want SignOffDeferred or SignOffEager)", opts.SignOffMode)
 	}
-	res, err := core.Execute(q.plan, input, output, execOpts)
+	res, err := core.ExecuteContext(ctx, q.plan, input, output, execOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,23 +30,31 @@ import (
 // RunDOM evaluates the plan's normalized query over a fully buffered
 // document.
 func RunDOM(plan *analysis.Plan, input io.Reader, output io.Writer, enableAggregation bool) (*engine.Result, error) {
+	return RunDOMContext(context.Background(), plan, input, output, enableAggregation)
+}
+
+// RunDOMContext is RunDOM under a cancellation context: parsing aborts
+// at token-pull boundaries, evaluation between loop iterations.
+func RunDOMContext(ctx context.Context, plan *analysis.Plan, input io.Reader, output io.Writer, enableAggregation bool) (*engine.Result, error) {
 	if plan.UsesAggregation && !enableAggregation {
 		return nil, fmt.Errorf("baseline: query uses the aggregation extension; enable it explicitly")
 	}
-	doc, err := dom.Parse(input)
+	doc, err := dom.ParseContext(ctx, input)
 	if err != nil {
 		return nil, err
 	}
 	out := xmltok.NewSerializer(output)
-	ev := &domEval{out: out}
+	ev := &domEval{out: out, ctx: ctx}
 	env := map[string]*dom.Node{xqast.RootVar: doc.Root}
 	if err := ev.eval(plan.Normalized.Body, env); err != nil {
+		out.Release()
 		return nil, err
 	}
 	if err := out.Flush(); err != nil {
+		out.Release()
 		return nil, err
 	}
-	return &engine.Result{
+	res := &engine.Result{
 		TokensProcessed: doc.Tokens,
 		// full buffering: the whole document is the watermark and stays
 		PeakBufferedNodes:  doc.Nodes,
@@ -53,7 +62,9 @@ func RunDOM(plan *analysis.Plan, input io.Reader, output io.Writer, enableAggreg
 		FinalBufferedNodes: doc.Nodes,
 		TotalAppended:      doc.Nodes,
 		OutputBytes:        out.BytesWritten(),
-	}, nil
+	}
+	out.Release()
+	return res, nil
 }
 
 // RunProjectionOnly evaluates with static projection but no dynamic
@@ -70,6 +81,7 @@ func RunProjectionOnly(plan *analysis.Plan, input io.Reader, output io.Writer, e
 // semantics without any streaming machinery.
 type domEval struct {
 	out *xmltok.Serializer
+	ctx context.Context
 }
 
 func (ev *domEval) eval(expr xqast.Expr, env map[string]*dom.Node) error {
@@ -126,6 +138,11 @@ func (ev *domEval) eval(expr xqast.Expr, env map[string]*dom.Node) error {
 	case *xqast.ForExpr:
 		base := env[expr.In.Base]
 		for _, n := range dom.Select(base, expr.In.Path) {
+			if ev.ctx != nil {
+				if err := ev.ctx.Err(); err != nil {
+					return err
+				}
+			}
 			env[expr.Var] = n
 			err := ev.eval(expr.Body, env)
 			delete(env, expr.Var)

@@ -3,6 +3,7 @@ package buffer
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"gcx/internal/xmltok"
 )
@@ -39,6 +40,52 @@ type Buffer struct {
 	// engine (static analysis without dynamic buffer minimization) runs
 	// with this set: roles are still tracked, nothing is ever freed.
 	DisableGC bool
+
+	// Node arena: nodes are carved out of pooled slabs so that one
+	// execution's node churn does not translate into one allocation per
+	// buffered node. Slabs go back to the pool in Release. Node structs
+	// stay valid (never recycled) for the whole run — purged nodes only
+	// drop their payloads — so stale references behave exactly as with
+	// individual allocations.
+	slab     *nodeSlab
+	slabUsed int
+	slabs    []*nodeSlab
+}
+
+// slabSize is the number of nodes per arena slab (~32 KiB of Node
+// structs).
+const slabSize = 256
+
+type nodeSlab [slabSize]Node
+
+var slabPool = sync.Pool{New: func() any { return new(nodeSlab) }}
+
+// newNode carves a zeroed node out of the current slab.
+func (b *Buffer) newNode() *Node {
+	if b.slab == nil || b.slabUsed == slabSize {
+		b.slab = slabPool.Get().(*nodeSlab)
+		b.slabs = append(b.slabs, b.slab)
+		b.slabUsed = 0
+	}
+	n := &b.slab[b.slabUsed]
+	b.slabUsed++
+	return n
+}
+
+// Release hands the buffer's node slabs back to the pool. It must only
+// be called once no node of this buffer is referenced anymore — after
+// the run's results have been extracted. The buffer is unusable
+// afterwards (the root is poisoned so accidental reuse fails fast).
+func (b *Buffer) Release() {
+	for _, s := range b.slabs {
+		*s = nodeSlab{}
+		slabPool.Put(s)
+	}
+	b.slabs = nil
+	b.slab = nil
+	b.slabUsed = 0
+	b.Root = nil
+	b.pending = nil
 }
 
 // New returns an empty buffer containing only the (permanently pinned)
@@ -76,7 +123,12 @@ func addNodes(n *Node, delta int64) {
 // open: it carries one pin until CloseNode is called, so it cannot be
 // purged while its subtree is still streaming in.
 func (b *Buffer) AppendElement(parent *Node, name string, attrs []xmltok.Attr) *Node {
-	n := &Node{Kind: KindElement, Name: name, Attrs: attrs, Parent: parent, pins: 1}
+	n := b.newNode()
+	n.Kind = KindElement
+	n.Name = name
+	n.Attrs = attrs
+	n.Parent = parent
+	n.pins = 1
 	b.link(parent, n)
 	addWeight(n, 1) // the open pin
 	return n
@@ -88,7 +140,11 @@ func (b *Buffer) AppendElement(parent *Node, name string, attrs []xmltok.Attr) *
 // after appending; a permanently role-less text node would violate the
 // zero-weight-is-purged invariant.
 func (b *Buffer) AppendText(parent *Node, text string) *Node {
-	n := &Node{Kind: KindText, Text: text, Parent: parent, Closed: true}
+	n := b.newNode()
+	n.Kind = KindText
+	n.Text = text
+	n.Parent = parent
+	n.Closed = true
 	b.link(parent, n)
 	return n
 }
@@ -222,22 +278,36 @@ func (b *Buffer) unlink(n *Node) {
 		addNodes(parent, -n.subtreeNodes)
 	}
 	b.CurrentNodes -= n.subtreeNodes
-	b.CurrentBytes -= subtreeBytes(n)
+	b.CurrentBytes -= releaseSubtree(n)
 	b.TotalPurged += n.subtreeNodes
-	n.unlinked = true
 	n.Parent = nil
 	n.PrevSib = nil
 	n.NextSib = nil
 }
 
-// subtreeBytes sums the per-node size estimates of a subtree. It runs
-// once per purged subtree, so the total cost over a run is linear in the
-// number of nodes ever buffered.
-func subtreeBytes(n *Node) int64 {
+// releaseSubtree sums the per-node size estimates of a purged subtree
+// and releases each node's payload: name, text and attribute strings are
+// dropped so the purged data becomes collectible immediately (the node
+// structs themselves live in arena slabs until Buffer.Release). Every
+// node is marked unlinked so stale references detect the purge without
+// walking a parent chain. It runs once per purged subtree, so the total
+// cost over a run is linear in the number of nodes ever buffered.
+func releaseSubtree(n *Node) int64 {
 	total := n.bytes
-	for c := n.FirstChild; c != nil; c = c.NextSib {
-		total += subtreeBytes(c)
+	for c := n.FirstChild; c != nil; {
+		next := c.NextSib
+		total += releaseSubtree(c)
+		c = next
 	}
+	n.unlinked = true
+	n.Name = ""
+	n.Text = ""
+	n.Attrs = nil
+	n.roles = nil
+	n.FirstChild = nil
+	n.LastChild = nil
+	n.PrevSib = nil
+	n.NextSib = nil
 	return total
 }
 

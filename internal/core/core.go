@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -99,6 +100,19 @@ type ExecResult struct {
 // Execute runs a compiled plan over input, writing the result to
 // output.
 func Execute(plan *analysis.Plan, input io.Reader, output io.Writer, opts ExecOptions) (*ExecResult, error) {
+	return ExecuteContext(context.Background(), plan, input, output, opts)
+}
+
+// ExecuteContext runs a compiled plan over input under a cancellation
+// context, writing the result to output. The streaming engines observe
+// ctx at every token-pull boundary; the DOM baseline during parsing and
+// between loop iterations. On cancellation ctx.Err() is returned and no
+// further output is written.
+//
+// A Plan is immutable after compilation, so any number of
+// ExecuteContext calls may share one plan across goroutines; all
+// per-run state lives in the engine instance created here.
+func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, output io.Writer, opts ExecOptions) (*ExecResult, error) {
 	start := time.Now()
 	var res *engine.Result
 	var err error
@@ -114,9 +128,13 @@ func Execute(plan *analysis.Plan, input io.Reader, output io.Writer, opts ExecOp
 			rec = stats.NewRecorder(opts.RecordEvery)
 			cfg.Recorder = rec
 		}
-		res, err = engine.New(plan, input, output, cfg).Run()
+		eng := engine.New(plan, input, output, cfg)
+		res, err = eng.RunContext(ctx)
+		// The result only carries counters, so the engine's pooled
+		// buffers can go back to their pools right away.
+		eng.Release()
 	case DOM:
-		res, err = baseline.RunDOM(plan, input, output, opts.EnableAggregation)
+		res, err = baseline.RunDOMContext(ctx, plan, input, output, opts.EnableAggregation)
 	default:
 		return nil, fmt.Errorf("core: unknown engine kind %d", opts.Engine)
 	}

@@ -7,6 +7,7 @@
 package dom
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -51,7 +52,15 @@ type Document struct {
 
 // Parse reads the entire stream into a Document.
 func Parse(r io.Reader) (*Document, error) {
+	return ParseContext(context.Background(), r)
+}
+
+// ParseContext reads the entire stream into a Document, aborting with
+// ctx.Err() at the first token pulled after ctx is cancelled.
+func ParseContext(ctx context.Context, r io.Reader) (*Document, error) {
 	tz := xmltok.NewTokenizer(r)
+	defer tz.Release()
+	tz.SetContext(ctx)
 	root := &Node{Kind: Root}
 	doc := &Document{Root: root}
 	cur := root

@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -75,8 +76,10 @@ type Engine struct {
 	plan *analysis.Plan
 	cfg  Config
 	buf  *buffer.Buffer
+	tz   *xmltok.Tokenizer
 	proj *projection.Preprojector
 	out  *xmltok.Serializer
+	ctx  context.Context
 }
 
 // New builds an engine instance for a single run.
@@ -89,6 +92,7 @@ func New(plan *analysis.Plan, input io.Reader, output io.Writer, cfg Config) *En
 		plan: plan,
 		cfg:  cfg,
 		buf:  buf,
+		tz:   tz,
 		proj: proj,
 		out:  xmltok.NewSerializer(output),
 	}
@@ -107,6 +111,16 @@ func (e *Engine) Buffer() *buffer.Buffer { return e.buf }
 
 // Run evaluates the query to completion.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext evaluates the query to completion under ctx. Cancellation
+// is observed at every token-pull boundary — both here, before each
+// preprojector step, and inside the tokenizer — so the run aborts within
+// one token of ctx being cancelled and returns ctx.Err().
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	e.ctx = ctx
+	e.tz.SetContext(ctx)
 	if e.plan.UsesAggregation && !e.cfg.EnableAggregation {
 		return nil, fmt.Errorf("engine: query uses the aggregation extension (count/sum/min/max/avg); enable it explicitly — the paper fragment excludes aggregation")
 	}
@@ -141,12 +155,28 @@ func (e *Engine) Run() (*Result, error) {
 // (exposed for tests and the property harness).
 func (e *Engine) CheckBalance() error { return e.buf.CheckBalance() }
 
+// Release hands the engine's pooled resources — tokenizer scratch
+// buffers, the serializer's write buffer and the buffer manager's node
+// slabs — back to their pools. Call it once per engine, after Run's
+// result has been consumed and the buffer is no longer inspected; the
+// engine is unusable afterwards.
+func (e *Engine) Release() {
+	e.tz.Release()
+	e.out.Release()
+	e.buf.Release()
+}
+
 // ensure pulls input through the preprojector until pred is satisfied
 // or the stream ends, then lets deferred sign-offs whose subtrees
 // completed take effect. This is the "blocked evaluator ↔ buffer
 // manager ↔ preprojector" request chain of the paper's Fig. 2.
 func (e *Engine) ensure(pred func() bool) error {
 	for !pred() {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ok, err := e.proj.Step()
 		if err != nil {
 			return err

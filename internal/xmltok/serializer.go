@@ -5,21 +5,51 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Serializer writes Tokens back out as XML. It is the single output path
 // of the engines, so that GCX, the projection-only engine and the DOM
 // baseline produce byte-identical results for the differential tests.
 type Serializer struct {
-	w     *bufio.Writer
-	open  []string
-	bytes int64
-	err   error
+	w        *bufio.Writer
+	open     []string
+	bytes    int64
+	err      error
+	released bool
 }
 
-// NewSerializer returns a Serializer writing to w.
+// serializerPool recycles Serializers and their 64 KiB write buffers
+// across executions.
+var serializerPool = sync.Pool{
+	New: func() any {
+		return &Serializer{w: bufio.NewWriterSize(io.Discard, 64<<10)}
+	},
+}
+
+// NewSerializer returns a Serializer writing to w. Serializers come from
+// an internal pool; callers that finish with one may hand its buffer
+// back via Release.
 func NewSerializer(w io.Writer) *Serializer {
-	return &Serializer{w: bufio.NewWriterSize(w, 64<<10)}
+	s := serializerPool.Get().(*Serializer)
+	s.w.Reset(w)
+	s.open = s.open[:0]
+	s.bytes = 0
+	s.err = nil
+	s.released = false
+	return s
+}
+
+// Release returns the serializer's buffer to the pool, discarding any
+// unflushed output. The serializer must not be used afterwards; counters
+// read before Release stay valid. Release is idempotent.
+func (s *Serializer) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.w.Reset(io.Discard)
+	serializerPool.Put(s)
 }
 
 // BytesWritten reports the number of bytes emitted so far (pre-flush

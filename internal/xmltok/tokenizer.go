@@ -2,10 +2,12 @@ package xmltok
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Tokenizer reads an XML byte stream and produces Tokens one at a time.
@@ -33,25 +35,89 @@ type Tokenizer struct {
 	// it is reported as itself rather than masked as a syntax error.
 	ioErr error
 
+	// ctx, when non-nil, is checked at every token pull; Next returns
+	// ctx.Err() as soon as the context is cancelled, so a streaming run
+	// aborts within one token of cancellation.
+	ctx context.Context
+
 	// KeepWhitespace controls whether whitespace-only text nodes are
 	// reported. Data-oriented processing (the default) drops them; the
 	// round-trip property tests keep them.
 	KeepWhitespace bool
 
-	count   int64
-	depth   int
-	started bool
-	done    bool
+	count    int64
+	depth    int
+	started  bool
+	done     bool
+	released bool
 
 	textBuf []byte
 }
 
-// NewTokenizer returns a Tokenizer reading from r.
+// tokenizerPool recycles Tokenizers — each carries a 64 KiB bufio
+// buffer, a name-interning map and a text scratch buffer, which dominate
+// the per-execution allocation cost of short queries over hot streams.
+var tokenizerPool = sync.Pool{
+	New: func() any {
+		return &Tokenizer{
+			r:     bufio.NewReaderSize(eofReader{}, 64<<10),
+			names: make(map[string]string, 64),
+		}
+	},
+}
+
+// eofReader is the parked input of a pooled tokenizer, so a released
+// tokenizer holds no reference to its caller's reader.
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// maxInternedNames bounds the interning map carried across pooled
+// reuses; beyond it the map is cleared on the next NewTokenizer.
+const maxInternedNames = 4096
+
+// NewTokenizer returns a Tokenizer reading from r. Tokenizers come from
+// an internal pool; callers that finish with one may hand its buffers
+// back via Release.
 func NewTokenizer(r io.Reader) *Tokenizer {
-	return &Tokenizer{
-		r:     bufio.NewReaderSize(r, 64<<10),
-		names: make(map[string]string, 64),
+	t := tokenizerPool.Get().(*Tokenizer)
+	t.r.Reset(r)
+	t.off = 0
+	t.stack = t.stack[:0]
+	if len(t.names) > maxInternedNames {
+		clear(t.names)
 	}
+	t.pending = nil
+	t.peeked = nil
+	t.ioErr = nil
+	t.ctx = nil
+	t.KeepWhitespace = false
+	t.count = 0
+	t.depth = 0
+	t.started = false
+	t.done = false
+	t.released = false
+	t.textBuf = t.textBuf[:0]
+	return t
+}
+
+// SetContext attaches a cancellation context. Next fails with ctx.Err()
+// at the first token pull after cancellation.
+func (t *Tokenizer) SetContext(ctx context.Context) { t.ctx = ctx }
+
+// Release returns the tokenizer's buffers to the pool. The tokenizer
+// must not be used afterwards; counters read before Release stay valid.
+// Release is idempotent.
+func (t *Tokenizer) Release() {
+	if t.released {
+		return
+	}
+	t.released = true
+	t.r.Reset(eofReader{})
+	t.ctx = nil
+	t.pending = nil
+	t.peeked = nil
+	tokenizerPool.Put(t)
 }
 
 // TokenCount reports how many tokens have been delivered so far. This is
@@ -76,8 +142,14 @@ func (t *Tokenizer) Peek() (Token, error) {
 
 // Next returns the next token of the stream. At end of input it returns
 // io.EOF; if the input ends with unclosed elements, a SyntaxError is
-// returned instead.
+// returned instead. If a context was attached with SetContext and has
+// been cancelled, Next returns the context's error without reading.
 func (t *Tokenizer) Next() (Token, error) {
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			return Token{}, err
+		}
+	}
 	var tok Token
 	var err error
 	if t.peeked != nil {
