@@ -14,6 +14,7 @@
 package gcx_test
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -202,6 +203,35 @@ func BenchmarkAblationDiscipline(b *testing.B) {
 				b.ReportMetric(float64(res.PeakBufferedBytes)/1024, "peak_KB")
 			})
 		}
+	}
+}
+
+// BenchmarkShardedExecute measures sharded data-parallel execution
+// (DESIGN.md §6) on XMark Q1 over a partition-friendly input: shards=1
+// is the sequential engine, higher counts split the stream at
+// /site/people/person and run one engine instance per worker. On
+// multi-core hosts the gain is parallelism; even on one core sharding
+// wins because the splitter's raw byte scan replaces full engine
+// processing for all non-record content.
+func BenchmarkShardedExecute(b *testing.B) {
+	doc := xmarkDoc(b, 4<<20)
+	q, err := gcx.Compile(xmark.Queries["Q1"].Text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !q.Shardable() {
+		b.Fatal("Q1 must be shardable")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			var res *gcx.Result
+			for i := 0; i < b.N; i++ {
+				res = runQuery(b, q, doc, gcx.Options{Shards: shards})
+			}
+			b.ReportMetric(float64(res.Chunks), "chunks")
+			b.ReportMetric(float64(res.PeakBufferedNodes), "peak_nodes")
+		})
 	}
 }
 

@@ -6,75 +6,102 @@
 //	gcx -f query.xq -i big.xml -o result.xml -stats
 //	gcx -f query.xq -explain            # roles + rewritten query
 //	gcx -f join.xq -i doc.xml -engine dom   # full-buffering baseline
+//	gcx -f query.xq -i big.xml -shards 8    # sharded data-parallel run
+//
+// The run is cancellable: Ctrl-C (SIGINT/SIGTERM) or an elapsed
+// -timeout aborts the evaluation within one input token.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gcx"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command. It returns the process exit
+// code: 0 on success, 1 on runtime errors, 2 on usage errors.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcx", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		queryText  = flag.String("q", "", "query text")
-		queryFile  = flag.String("f", "", "file containing the query")
-		inputFile  = flag.String("i", "", "input XML document (default stdin)")
-		outputFile = flag.String("o", "", "output file (default stdout)")
-		engineName = flag.String("engine", "gcx", "engine: gcx, projection (no GC) or dom (full buffering)")
-		mode       = flag.String("mode", "deferred", "sign-off mode: deferred or eager")
-		agg        = flag.Bool("agg", false, "enable the aggregation extension (count/sum/min/max/avg)")
-		explain    = flag.Bool("explain", false, "print roles and the rewritten query, then exit")
-		showStats  = flag.Bool("stats", false, "print run statistics to stderr")
-		plotEvery  = flag.Int64("plot", 0, "emit a buffer plot sample to stderr every N tokens")
+		queryText  = fs.String("q", "", "query text")
+		queryFile  = fs.String("f", "", "file containing the query")
+		inputFile  = fs.String("i", "", "input XML document (default stdin)")
+		outputFile = fs.String("o", "", "output file (default stdout)")
+		engineName = fs.String("engine", "gcx", "engine: gcx, projection (no GC) or dom (full buffering)")
+		mode       = fs.String("mode", "deferred", "sign-off mode: deferred or eager")
+		agg        = fs.Bool("agg", false, "enable the aggregation extension (count/sum/min/max/avg)")
+		explain    = fs.Bool("explain", false, "print roles and the rewritten query, then exit")
+		showStats  = fs.Bool("stats", false, "print run statistics to stderr")
+		plotEvery  = fs.Int64("plot", 0, "emit a buffer plot sample to stderr every N tokens")
+		shards     = fs.Int("shards", 1, "parallel engine instances for partitionable queries (0/1 = sequential)")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	src := *queryText
 	if *queryFile != "" {
 		data, err := os.ReadFile(*queryFile)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		src = string(data)
 	}
 	if src == "" {
-		fmt.Fprintln(os.Stderr, "gcx: no query given (use -q or -f)")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gcx: no query given (use -q or -f)")
+		fs.Usage()
+		return 2
 	}
 
 	q, err := gcx.Compile(src)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if *explain {
-		fmt.Print(q.Explain())
-		return
+		fmt.Fprint(stdout, q.Explain())
+		return 0
 	}
 
-	var input io.Reader = os.Stdin
+	input := stdin
 	if *inputFile != "" {
 		f, err := os.Open(*inputFile)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		defer f.Close()
 		input = f
 	}
-	var output io.Writer = os.Stdout
+	output := stdout
+	toStdout := true
 	if *outputFile != "" {
 		f, err := os.Create(*outputFile)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		defer f.Close()
 		output = f
+		toStdout = false
 	}
 
-	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery}
+	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards}
 	switch *engineName {
 	case "gcx":
 		opts.Engine = gcx.EngineGCX
@@ -83,38 +110,45 @@ func main() {
 	case "dom", "naive":
 		opts.Engine = gcx.EngineDOM
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engineName))
+		return fail(stderr, fmt.Errorf("unknown engine %q", *engineName))
 	}
 	switch *mode {
 	case "deferred":
 	case "eager":
 		opts.SignOffMode = gcx.SignOffEager
 	default:
-		fatal(fmt.Errorf("unknown sign-off mode %q", *mode))
+		return fail(stderr, fmt.Errorf("unknown sign-off mode %q", *mode))
 	}
 
-	res, err := q.Execute(input, output, opts)
-	if err != nil {
-		fatal(err)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	if output == os.Stdout {
-		fmt.Println()
+
+	res, err := q.ExecuteContext(ctx, input, output, opts)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if toStdout {
+		fmt.Fprintln(stdout)
 	}
 	if *plotEvery > 0 {
 		for _, p := range res.Series {
-			fmt.Fprintf(os.Stderr, "%d\t%d\n", p.Token, p.Nodes)
+			fmt.Fprintf(stderr, "%d\t%d\n", p.Token, p.Nodes)
 		}
 	}
 	if *showStats {
-		fmt.Fprintf(os.Stderr,
-			"tokens=%d peak_nodes=%d peak_bytes=%d final_nodes=%d appended=%d purged=%d output_bytes=%d time=%s\n",
+		fmt.Fprintf(stderr,
+			"tokens=%d peak_nodes=%d peak_bytes=%d final_nodes=%d appended=%d purged=%d output_bytes=%d shards=%d chunks=%d time=%s\n",
 			res.TokensProcessed, res.PeakBufferedNodes, res.PeakBufferedBytes,
 			res.FinalBufferedNodes, res.TotalAppended, res.TotalPurged,
-			res.OutputBytes, res.Duration)
+			res.OutputBytes, res.ShardsUsed, res.Chunks, res.Duration)
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gcx:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "gcx:", err)
+	return 1
 }

@@ -24,10 +24,12 @@
 // "query" URL parameter, and the XML document from the request body.
 // Optional URL parameters: engine=gcx|projection|dom (default gcx),
 // signoff=deferred|eager (default deferred), agg=1 to enable the
-// aggregation extension. Execution statistics arrive as HTTP trailers
-// (X-Gcx-Tokens, X-Gcx-Peak-Nodes); an error after streaming has begun
-// is reported in the X-Gcx-Error trailer, since the status line is
-// already on the wire.
+// aggregation extension, shards=N (1..gcx.MaxShards) to run a partitionable query
+// over N parallel engine instances (non-partitionable queries fall back
+// to one, see DESIGN.md §6). Execution statistics arrive as HTTP
+// trailers (X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Shards); an error
+// after streaming has begun is reported in the X-Gcx-Error trailer,
+// since the status line is already on the wire.
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -70,6 +73,15 @@ type server struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	bytesOut atomic.Int64
+
+	// Sharded-execution counters: requests that asked for shards > 1,
+	// worker instances launched and chunks processed on their behalf,
+	// and requests that fell back to the sequential engine because the
+	// query was not partitionable.
+	shardedRequests atomic.Int64
+	shardWorkers    atomic.Int64
+	shardChunks     atomic.Int64
+	shardFallbacks  atomic.Int64
 }
 
 func newServer(cacheSize int) *server {
@@ -110,6 +122,13 @@ func optionsFromRequest(r *http.Request) (gcx.Options, error) {
 	}
 	if agg := r.URL.Query().Get("agg"); agg == "1" || agg == "true" {
 		opts.EnableAggregation = true
+	}
+	if sh := r.URL.Query().Get("shards"); sh != "" {
+		n, err := strconv.Atoi(sh)
+		if err != nil || n < 1 || n > gcx.MaxShards {
+			return opts, fmt.Errorf("invalid shards %q (want 1..%d)", sh, gcx.MaxShards)
+		}
+		opts.Shards = n
 	}
 	return opts, nil
 }
@@ -154,7 +173,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "application/xml")
-	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes")
+	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Shards")
 	cw := &countingWriter{w: w}
 	res, err := q.ExecuteContext(r.Context(), r.Body, cw, opts)
 	s.bytesOut.Add(cw.n)
@@ -168,8 +187,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Gcx-Error", err.Error())
 		return
 	}
+	if opts.Shards > 1 {
+		s.shardedRequests.Add(1)
+		s.shardWorkers.Add(int64(res.ShardsUsed))
+		s.shardChunks.Add(int64(res.Chunks))
+		if res.ShardsUsed == 1 {
+			s.shardFallbacks.Add(1)
+		}
+	}
 	w.Header().Set("X-Gcx-Tokens", fmt.Sprint(res.TokensProcessed))
 	w.Header().Set("X-Gcx-Peak-Nodes", fmt.Sprint(res.PeakBufferedNodes))
+	w.Header().Set("X-Gcx-Shards", fmt.Sprint(res.ShardsUsed))
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, msg string) {
@@ -186,11 +214,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"requests":     s.requests.Load(),
-		"errors":       s.errors.Load(),
-		"bytes_out":    s.bytesOut.Load(),
-		"cache_len":    s.cache.Len(),
-		"cache_hits":   hits,
-		"cache_misses": misses,
+		"requests":         s.requests.Load(),
+		"errors":           s.errors.Load(),
+		"bytes_out":        s.bytesOut.Load(),
+		"cache_len":        s.cache.Len(),
+		"cache_hits":       hits,
+		"cache_misses":     misses,
+		"sharded_requests": s.shardedRequests.Load(),
+		"shard_workers":    s.shardWorkers.Load(),
+		"shard_chunks":     s.shardChunks.Load(),
+		"shard_fallbacks":  s.shardFallbacks.Load(),
 	})
 }

@@ -187,6 +187,80 @@ func TestServerErrors(t *testing.T) {
 	}
 }
 
+// TestServerShardedRequests drives the shards=N parameter end to end:
+// identical output, the X-Gcx-Shards trailer, per-worker counters in
+// /stats, and the fallback accounting for non-partitionable queries.
+func TestServerShardedRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer(8))
+	defer ts.Close()
+
+	doc := testDoc(1, 200)
+	want := expectedOutput(t, testQuery, doc)
+
+	resp, body := postQuery(t, ts.URL, testQuery, doc, "shards=4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded request: status %d: %s", resp.StatusCode, body)
+	}
+	if body != want {
+		t.Fatalf("sharded output differs from sequential")
+	}
+	if got := resp.Trailer.Get("X-Gcx-Shards"); got != "4" {
+		t.Fatalf("X-Gcx-Shards = %q, want 4", got)
+	}
+
+	// A join is not partitionable: the request succeeds sequentially and
+	// counts as a fallback.
+	joinQuery := `<out>{
+	  for $b in /bib/book return
+	    for $c in /bib/book return
+	      if ($b/price = $c/price) then $b/title else ()
+	}</out>`
+	resp, body = postQuery(t, ts.URL, joinQuery, testDoc(2, 5), "shards=4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join request: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Trailer.Get("X-Gcx-Shards"); got != "1" {
+		t.Fatalf("join X-Gcx-Shards = %q, want 1 (fallback)", got)
+	}
+
+	// Out-of-range shard counts are rejected.
+	resp, body = postQuery(t, ts.URL, testQuery, "<bib/>", "shards=0")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shards=0: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	resp, body = postQuery(t, ts.URL, testQuery, "<bib/>", "shards=1000")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shards=1000: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+
+	var stats struct {
+		ShardedRequests int64 `json:"sharded_requests"`
+		ShardWorkers    int64 `json:"shard_workers"`
+		ShardChunks     int64 `json:"shard_chunks"`
+		ShardFallbacks  int64 `json:"shard_fallbacks"`
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardedRequests != 2 {
+		t.Errorf("sharded_requests = %d, want 2", stats.ShardedRequests)
+	}
+	if stats.ShardWorkers != 5 { // 4 for the sharded run + 1 for the fallback
+		t.Errorf("shard_workers = %d, want 5", stats.ShardWorkers)
+	}
+	if stats.ShardChunks < 1 {
+		t.Errorf("shard_chunks = %d, want >= 1", stats.ShardChunks)
+	}
+	if stats.ShardFallbacks != 1 {
+		t.Errorf("shard_fallbacks = %d, want 1", stats.ShardFallbacks)
+	}
+}
+
 func TestServerHealthz(t *testing.T) {
 	ts := httptest.NewServer(newServer(1))
 	defer ts.Close()

@@ -1,12 +1,14 @@
 // Command xmarkgen generates XMark-like auction documents (the offline
-// stand-in for the original XMark xmlgen; see DESIGN.md).
+// stand-in for the original XMark xmlgen; see DESIGN.md §5).
 //
 //	xmarkgen -size 10MB -seed 1 -o auction.xml
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gcx/internal/sizeparse"
@@ -14,36 +16,50 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command. It returns the process exit
+// code: 0 on success, 1 on runtime errors, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xmarkgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		size = flag.String("size", "1MB", "target document size (e.g. 512KB, 10MB)")
-		seed = flag.Int64("seed", 1, "PRNG seed")
-		out  = flag.String("o", "", "output file (default stdout)")
+		size = fs.String("size", "1MB", "target document size (e.g. 512KB, 10MB)")
+		seed = fs.Int64("seed", 1, "PRNG seed")
+		out  = fs.String("o", "", "output file (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	bytes, err := sizeparse.Parse(*size)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		defer f.Close()
 		w = f
 	}
 	st, err := xmark.Generate(w, xmark.Config{TargetBytes: bytes, Seed: *seed})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Fprintf(os.Stderr,
+	fmt.Fprintf(stderr,
 		"xmarkgen: %d bytes, %d persons, %d items, %d open auctions, %d closed auctions, %d categories\n",
 		st.Bytes, st.Persons, st.Items, st.OpenAuctions, st.ClosedAuctions, st.Categories)
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xmarkgen:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "xmarkgen:", err)
+	return 1
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"gcx/internal/xmltok"
+)
+
+func TestRunGeneratesWellFormedDoc(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-size", "64KB", "-seed", "7"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	doc := out.String()
+	// Size-scaled: within a factor of two of the target.
+	if len(doc) < 32<<10 || len(doc) > 128<<10 {
+		t.Fatalf("document size %d not near 64KB target", len(doc))
+	}
+	if !strings.Contains(errb.String(), "persons") {
+		t.Fatalf("stats line missing: %s", errb.String())
+	}
+	// Well-formed: the tokenizer must consume it without error.
+	tz := xmltok.NewTokenizer(strings.NewReader(doc))
+	defer tz.Release()
+	tokens := 0
+	for {
+		_, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("generated document malformed: %v", err)
+		}
+		tokens++
+	}
+	if tokens == 0 {
+		t.Fatal("no tokens generated")
+	}
+}
+
+func TestRunSizeScaling(t *testing.T) {
+	sizes := map[string]int{"32KB": 32 << 10, "256KB": 256 << 10}
+	lens := map[string]int{}
+	for arg := range sizes {
+		var out, errb strings.Builder
+		if code := run([]string{"-size", arg}, &out, &errb); code != 0 {
+			t.Fatalf("%s: exit %d: %s", arg, code, errb.String())
+		}
+		lens[arg] = out.Len()
+	}
+	if lens["256KB"] <= lens["32KB"] {
+		t.Fatalf("sizes not scaled: %v", lens)
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	gen := func(seed string) string {
+		var out, errb strings.Builder
+		if code := run([]string{"-size", "16KB", "-seed", seed}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	if gen("3") != gen("3") {
+		t.Fatal("same seed produced different documents")
+	}
+	if gen("3") == gen("4") {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-size", "banana"}, &out, &errb); code != 1 {
+		t.Fatalf("bad size: exit %d, want 1", code)
+	}
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

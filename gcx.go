@@ -37,6 +37,7 @@ import (
 	"gcx/internal/analysis"
 	"gcx/internal/core"
 	"gcx/internal/engine"
+	"gcx/internal/shard"
 )
 
 // Engine selects the buffering discipline of Execute.
@@ -68,6 +69,11 @@ const (
 )
 
 // Options tunes query execution.
+// MaxShards is the upper bound on Options.Shards: each shard is a full
+// engine instance with its own buffer manager, so larger requests are
+// clamped rather than translated into unbounded goroutines.
+const MaxShards = shard.MaxWorkers
+
 type Options struct {
 	Engine      Engine
 	SignOffMode SignOffMode
@@ -79,6 +85,15 @@ type Options struct {
 	// tokens for buffer plots like the paper's Figures 3 and 4;
 	// 0 disables recording.
 	RecordEvery int64
+	// Shards requests sharded data-parallel execution (DESIGN.md §6):
+	// the input is partitioned at the query's outermost for-loop path
+	// and evaluated by Shards concurrent engine instances, with outputs
+	// merged in input order so the result is byte-identical to the
+	// sequential run. 0 or 1 keeps the sequential engine; counts above
+	// MaxShards are clamped. Queries that are not partitionable (joins,
+	// whole-input aggregation — see Query.Shardable) and runs with
+	// RecordEvery set fall back to sequential execution transparently.
+	Shards int
 }
 
 // Role describes one projection path derived by static analysis.
@@ -125,6 +140,15 @@ type Result struct {
 	// Series is the recorded buffer plot (empty unless
 	// Options.RecordEvery was set).
 	Series []SeriesPoint
+	// ShardsUsed is the number of parallel engine instances the run
+	// used: 1 for the sequential path (including fallbacks from
+	// Options.Shards > 1), Options.Shards when sharding was applied.
+	// Under sharding the buffer watermarks are sums of per-worker
+	// peaks, a documented upper bound (DESIGN.md §6).
+	ShardsUsed int
+	// Chunks is the number of input partitions of a sharded run
+	// (0 for sequential runs).
+	Chunks int
 }
 
 // Query is a compiled query, reusable across executions. A Query is
@@ -134,6 +158,10 @@ type Result struct {
 // buffer manager, evaluator) is created per call.
 type Query struct {
 	plan *analysis.Plan
+	// shardInfo is the compile-time partitioning recipe; nil when the
+	// query must run sequentially, with shardReason saying why.
+	shardInfo   *analysis.ShardInfo
+	shardReason string
 }
 
 // CompileOptions exposes the static-analysis ablation switches. The
@@ -166,7 +194,9 @@ func CompileWithOptions(src string, opts CompileOptions) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{plan: plan}, nil
+	q := &Query{plan: plan}
+	q.shardInfo, q.shardReason = analysis.Shardable(plan)
+	return q, nil
 }
 
 // MustCompile is Compile for static queries; it panics on error.
@@ -195,8 +225,20 @@ func (q *Query) Roles() []Role {
 
 // Explain renders the role browser and the rewritten query with its
 // signOff statements — the textual counterpart of the demo's Fig. 3(a)
-// visualization.
-func (q *Query) Explain() string { return q.plan.Explain() }
+// visualization — plus the sharding verdict.
+func (q *Query) Explain() string {
+	s := q.plan.Explain()
+	if q.shardInfo != nil {
+		return s + "\nSharding: partitionable on " + q.shardInfo.PartitionPath.String() + "\n"
+	}
+	return s + "\nSharding: sequential only (" + q.shardReason + ")\n"
+}
+
+// Shardable reports whether the query can run sharded (DESIGN.md §6):
+// partitionable on its outermost for-loop path, with no state shared
+// across iterations. Non-shardable queries silently run sequentially
+// regardless of Options.Shards.
+func (q *Query) Shardable() bool { return q.shardInfo != nil }
 
 // UsesAggregation reports whether the query needs the aggregation
 // extension (count/sum/min/max/avg).
@@ -237,6 +279,34 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 	default:
 		return nil, fmt.Errorf("gcx: unknown sign-off mode %d (want SignOffDeferred or SignOffEager)", opts.SignOffMode)
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("gcx: negative shard count %d", opts.Shards)
+	}
+	if opts.Shards > 1 && q.shardInfo != nil && opts.RecordEvery == 0 {
+		shards := opts.Shards
+		if shards > MaxShards {
+			shards = MaxShards
+		}
+		sres, err := shard.Execute(ctx, q.shardInfo, input, output, shard.Config{
+			Workers: shards,
+			Exec:    execOpts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			TokensProcessed:    sres.TokensProcessed,
+			PeakBufferedNodes:  sres.PeakBufferedNodes,
+			PeakBufferedBytes:  sres.PeakBufferedBytes,
+			FinalBufferedNodes: sres.FinalBufferedNodes,
+			TotalAppended:      sres.TotalAppended,
+			TotalPurged:        sres.TotalPurged,
+			OutputBytes:        sres.OutputBytes,
+			Duration:           sres.Duration,
+			ShardsUsed:         shards,
+			Chunks:             sres.Chunks,
+		}, nil
+	}
 	res, err := core.ExecuteContext(ctx, q.plan, input, output, execOpts)
 	if err != nil {
 		return nil, err
@@ -250,6 +320,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		TotalPurged:        res.TotalPurged,
 		OutputBytes:        res.OutputBytes,
 		Duration:           res.Duration,
+		ShardsUsed:         1,
 	}
 	for _, p := range res.Series {
 		out.Series = append(out.Series, SeriesPoint{Token: p.Token, Nodes: p.Nodes, Bytes: p.Bytes})
@@ -260,8 +331,14 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 // ExecuteString is a convenience wrapper evaluating over a string input
 // and returning the output as a string.
 func (q *Query) ExecuteString(input string, opts Options) (string, *Result, error) {
+	return q.ExecuteStringContext(context.Background(), input, opts)
+}
+
+// ExecuteStringContext is ExecuteString under a cancellation context,
+// with the same within-one-token abort guarantee as ExecuteContext.
+func (q *Query) ExecuteStringContext(ctx context.Context, input string, opts Options) (string, *Result, error) {
 	var out strings.Builder
-	res, err := q.Execute(strings.NewReader(input), &out, opts)
+	res, err := q.ExecuteContext(ctx, strings.NewReader(input), &out, opts)
 	if err != nil {
 		return "", nil, err
 	}

@@ -87,6 +87,9 @@ type Plan struct {
 	Roles []Role
 	// UsesAggregation reports whether the query uses the aggregation extension.
 	UsesAggregation bool
+	// Opts are the analysis switches the plan was compiled with, kept so
+	// derived plans (sharding) reuse the same analysis.
+	Opts Options
 }
 
 // RolePaths returns the projection paths indexed by role id, the input
@@ -155,5 +158,6 @@ func AnalyzeWithOptions(q *xqast.Query, opts Options) (*Plan, error) {
 		Rewritten:       rewritten,
 		Roles:           ex.roles,
 		UsesAggregation: ex.usesAggregation,
+		Opts:            opts,
 	}, nil
 }

@@ -80,6 +80,9 @@ type Engine struct {
 	proj *projection.Preprojector
 	out  *xmltok.Serializer
 	ctx  context.Context
+	// done caches ctx.Done() so the per-step cancellation check in
+	// ensure is a lock-free channel poll.
+	done <-chan struct{}
 }
 
 // New builds an engine instance for a single run.
@@ -120,6 +123,7 @@ func (e *Engine) Run() (*Result, error) {
 // one token of ctx being cancelled and returns ctx.Err().
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	e.ctx = ctx
+	e.done = ctx.Done()
 	e.tz.SetContext(ctx)
 	if e.plan.UsesAggregation && !e.cfg.EnableAggregation {
 		return nil, fmt.Errorf("engine: query uses the aggregation extension (count/sum/min/max/avg); enable it explicitly — the paper fragment excludes aggregation")
@@ -172,10 +176,8 @@ func (e *Engine) Release() {
 // manager ↔ preprojector" request chain of the paper's Fig. 2.
 func (e *Engine) ensure(pred func() bool) error {
 	for !pred() {
-		if e.ctx != nil {
-			if err := e.ctx.Err(); err != nil {
-				return err
-			}
+		if err := e.poll(); err != nil {
+			return err
 		}
 		ok, err := e.proj.Step()
 		if err != nil {
@@ -188,6 +190,19 @@ func (e *Engine) ensure(pred func() bool) error {
 		}
 	}
 	e.buf.DrainPending()
+	return nil
+}
+
+// poll is the lock-free cancellation check: nil while the run may
+// continue, ctx.Err() once the context is done.
+func (e *Engine) poll() error {
+	if e.done != nil {
+		select {
+		case <-e.done:
+			return e.ctx.Err()
+		default:
+		}
+	}
 	return nil
 }
 
@@ -303,6 +318,14 @@ func (e *Engine) evalFor(f *xqast.ForExpr, env map[string]*buffer.Node) error {
 		e.buf.Pin(cur)
 	}
 	for cur != nil {
+		// Evaluation over already-buffered bindings pulls no tokens (a
+		// blocking join like XMark Q8 can spend seconds here), so ensure's
+		// cancellation check never fires; poll once per binding to keep
+		// the abort latency bounded by one loop body.
+		if err := e.poll(); err != nil {
+			e.buf.Unpin(cur)
+			return err
+		}
 		env[f.Var] = cur
 		err := e.eval(f.Body, env)
 		delete(env, f.Var)

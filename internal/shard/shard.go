@@ -1,0 +1,209 @@
+// Package shard implements sharded data-parallel execution (DESIGN.md
+// §6): the input stream is partitioned into record-aligned chunks by a
+// single scanning pass (xmltok.Splitter), a pool of workers runs one
+// independent engine instance per chunk — each with its own tokenizer,
+// buffer manager and serializer — and an ordered merge emits the worker
+// outputs in input order, so the sharded result is byte-identical to
+// the sequential one. Whether a plan may be sharded, and along which
+// path, is decided at compile time by analysis.Shardable.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sync"
+	"time"
+
+	"gcx/internal/analysis"
+	"gcx/internal/core"
+	"gcx/internal/xmltok"
+	"gcx/internal/xpath"
+)
+
+// MaxWorkers caps the worker pool: each worker is a full engine
+// instance with its own tokenizer and buffer manager, so an unbounded
+// Options.Shards from a caller must not translate into unbounded
+// goroutines. 64 comfortably exceeds any machine this targets.
+const MaxWorkers = 64
+
+// Config tunes a sharded execution.
+type Config struct {
+	// Workers is the number of parallel engine instances (≥ 2; callers
+	// route 0/1 to the sequential path; clamped to MaxWorkers).
+	Workers int
+	// ChunkTargetBytes is the splitter's chunk size target (0 uses the
+	// splitter default). Smaller chunks balance better, larger chunks
+	// amortize per-engine setup.
+	ChunkTargetBytes int
+	// Exec are the per-worker engine options. RecordEvery is ignored:
+	// buffer-plot recording is a sequential-run feature.
+	Exec core.ExecOptions
+}
+
+// Result aggregates the per-worker engine results.
+//
+// Stats semantics under sharding (DESIGN.md §6): counters
+// (TokensProcessed, TotalAppended, TotalPurged, OutputBytes) are sums
+// over the workers; the buffer watermarks PeakBufferedNodes and
+// PeakBufferedBytes are the sum of the per-worker peaks — an upper
+// bound on the true simultaneous peak, since workers run staggered.
+// TokensProcessed counts chunk-document tokens, which differ slightly
+// from the sequential token count (synthesized wrapper tags; skipped
+// non-record content).
+type Result struct {
+	core.ExecResult
+	// Chunks is the number of chunks the input was cut into.
+	Chunks int
+}
+
+// task is one chunk travelling through the pool: the producer enqueues
+// it to the workers and, in input order, to the merger; the worker
+// posts its output on done (capacity 1, so workers never block on a
+// slow merge).
+type task struct {
+	chunk xmltok.Chunk
+	done  chan taskResult
+}
+
+type taskResult struct {
+	out *bytes.Buffer
+	res *core.ExecResult
+	err error
+}
+
+// outBufPool recycles the per-chunk output buffers.
+var outBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Execute runs a sharded evaluation of info over input, writing the
+// merged output to output. The reorder window is bounded: at most
+// 2×Workers chunks are in flight between splitter and merge, so memory
+// stays proportional to Workers × chunk size regardless of input size.
+func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, output io.Writer, cfg Config) (*Result, error) {
+	start := time.Now()
+	workers := cfg.Workers
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > MaxWorkers {
+		workers = MaxWorkers
+	}
+	cfg.Exec.RecordEvery = 0
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	steps := make([]xmltok.SplitStep, len(info.PartitionPath.Steps))
+	for i, st := range info.PartitionPath.Steps {
+		steps[i] = xmltok.SplitStep{Name: st.Test.Name, Wildcard: st.Test.Kind == xpath.TestWildcard}
+	}
+
+	work := make(chan *task, workers)
+	order := make(chan *task, 2*workers)
+	var splitErr error
+
+	// Producer: scan the input once, cutting record chunks. Tasks are
+	// offered to the workers first and to the ordered merge queue
+	// second, so every task the merger waits on is already visible to a
+	// worker.
+	go func() {
+		defer close(order)
+		defer close(work)
+		sp := xmltok.NewSplitter(input, steps)
+		sp.SetContext(cctx)
+		sp.SetTargetBytes(cfg.ChunkTargetBytes)
+		for {
+			chunk, err := sp.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				splitErr = err
+				return
+			}
+			t := &task{chunk: chunk, done: make(chan taskResult, 1)}
+			select {
+			case work <- t:
+			case <-cctx.Done():
+				return
+			}
+			select {
+			case order <- t:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: one engine instance per chunk, each with its own buffer
+	// manager, under the caller's context.
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range work {
+				buf := outBufPool.Get().(*bytes.Buffer)
+				buf.Reset()
+				res, err := core.ExecuteContext(cctx, info.Inner, bytes.NewReader(t.chunk.Data), buf, cfg.Exec)
+				t.done <- taskResult{out: buf, res: res, err: err}
+			}
+		}()
+	}
+
+	// Ordered merge: consume the order queue — input order by
+	// construction — and stream each chunk's output as soon as it is
+	// ready. The constant wrapper prefix is withheld until there is
+	// something to write, mirroring the sequential engine's buffered
+	// serializer, which emits nothing when a run fails early.
+	agg := &Result{}
+	var firstErr error
+	wrotePrefix := false
+	writeOut := func(p []byte) error {
+		if !wrotePrefix {
+			if _, err := output.Write(info.Prefix); err != nil {
+				return err
+			}
+			wrotePrefix = true
+		}
+		_, err := output.Write(p)
+		return err
+	}
+	for t := range order {
+		r := <-t.done
+		if firstErr == nil && r.err != nil {
+			firstErr = r.err
+			cancel() // stop the producer and drain the remaining chunks
+		}
+		if firstErr == nil {
+			if err := writeOut(r.out.Bytes()); err != nil {
+				firstErr = err
+				cancel()
+			} else {
+				agg.TokensProcessed += r.res.TokensProcessed
+				agg.PeakBufferedNodes += r.res.PeakBufferedNodes
+				agg.PeakBufferedBytes += r.res.PeakBufferedBytes
+				agg.FinalBufferedNodes += r.res.FinalBufferedNodes
+				agg.TotalAppended += r.res.TotalAppended
+				agg.TotalPurged += r.res.TotalPurged
+				agg.OutputBytes += r.res.OutputBytes
+				agg.Chunks++
+			}
+		}
+		if r.out != nil {
+			outBufPool.Put(r.out)
+		}
+	}
+	if firstErr == nil {
+		firstErr = splitErr // close(order) happens-after the assignment
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := writeOut(info.Suffix); err != nil {
+		return nil, err
+	}
+	agg.OutputBytes += int64(len(info.Prefix) + len(info.Suffix))
+	agg.Duration = time.Since(start)
+	return agg, nil
+}

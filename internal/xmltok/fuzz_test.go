@@ -9,6 +9,89 @@ import (
 // FuzzTokenizer: arbitrary bytes must produce either tokens or a clean
 // error — never a panic or an infinite loop. Accepted documents must
 // round-trip through the serializer.
+// FuzzSplitter: whenever the Tokenizer accepts a document, the Splitter
+// must split it without error, and the record tokens reassembled from
+// the chunks must equal the record tokens of the original document —
+// the invariant sharded execution rests on. Rejected documents must be
+// rejected cleanly (no panic, no runaway).
+func FuzzSplitter(f *testing.F) {
+	seeds := []string{
+		`<a><b/></a>`,
+		`<a><b>x</b><c/><b k="v">y</b></a>`,
+		`<a><x><b>deep</b></x><b><b>nested名</b></b></a>`,
+		`<a><!-- c --><b><![CDATA[<>]]></b></a>`,
+		`<a><b attr="quoted > gt"/></a>`,
+		`<a><b></c></a>`,
+		`<a>`,
+		`<b/>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	path := []SplitStep{{Name: "a"}, {Name: "b"}}
+	f.Fuzz(func(t *testing.T, doc string) {
+		// Reference: does the tokenizer accept the document?
+		tz := NewTokenizer(strings.NewReader(doc))
+		accepted := true
+		for {
+			_, err := tz.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				accepted = false
+				break
+			}
+		}
+		tz.Release()
+
+		sp := NewSplitter(strings.NewReader(doc), path)
+		var chunks []Chunk
+		var splitErr error
+		for {
+			c, err := sp.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				splitErr = err
+				break
+			}
+			chunks = append(chunks, c)
+			if len(chunks) > len(doc)+16 {
+				t.Fatal("runaway splitter")
+			}
+		}
+		if !accepted {
+			return // tokenizer-rejected inputs carry no obligations
+		}
+		if splitErr != nil {
+			// The splitter skips attribute validation outside records, so
+			// it accepts a superset; it must never reject what the
+			// tokenizer accepts.
+			t.Fatalf("splitter rejected a tokenizable document: %v\ninput: %q", splitErr, doc)
+		}
+		want := fuzzRecordTokens(t, doc, path)
+		var got []Token
+		for _, c := range chunks {
+			got = append(got, fuzzRecordTokens(t, string(c.Data), path)...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("record token counts differ: got %d want %d\ninput: %q", len(got), len(want), doc)
+		}
+		for i := range want {
+			if !sameToken(got[i], want[i]) {
+				t.Fatalf("record token %d: got %+v want %+v\ninput: %q", i, got[i], want[i], doc)
+			}
+		}
+	})
+}
+
+func fuzzRecordTokens(t *testing.T, doc string, path []SplitStep) []Token {
+	t.Helper()
+	return recordTokens(t, strings.NewReader(doc), path)
+}
+
 func FuzzTokenizer(f *testing.F) {
 	seeds := []string{
 		`<a/>`,

@@ -1,0 +1,562 @@
+package xmltok
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+)
+
+// Splitter cuts an XML byte stream into self-contained chunks at the
+// record boundaries of a fixed child-axis element path (the partition
+// path of sharded execution, DESIGN.md §6). It scans the input exactly
+// once at the byte level — tracking element nesting and quoting, but
+// never materializing tokens — and copies the raw bytes of every
+// record subtree into the current chunk. A chunk is a well-formed
+// mini-document: the records verbatim, re-wrapped with synthesized
+// open/close tags for the ancestor chain of the partition path, so a
+// downstream Tokenizer sees the same element structure (and the same
+// record tokens, byte for byte) as in the original document.
+//
+// Chunks are sealed when they reach the byte target, when an ancestor
+// of the records closes (records under different ancestors never share
+// a chunk, which keeps wildcard partition paths correct), and at end of
+// input. Content outside record subtrees — ancestor attributes, text
+// between records, unrelated sibling subtrees — is skipped; the
+// shardability analysis guarantees the query cannot observe it.
+type Splitter struct {
+	r      *bufio.Reader
+	path   []SplitStep
+	ctx    context.Context
+	target int
+
+	off int64 // byte offset for error reporting
+
+	// Open-element stack, names stored back to back to avoid per-tag
+	// allocations.
+	nameBuf []byte
+	nameLen []int
+
+	// matchDepth is the number of leading stack levels matching the
+	// partition path (contiguous from the root).
+	matchDepth int
+	// capturing is true while inside a record subtree.
+	capturing bool
+
+	// Current chunk: buf starts with the synthesized ancestor open tags,
+	// then accumulates record bytes. anc are the ancestor names for the
+	// closing tags.
+	buf     []byte
+	records int
+	anc     []string
+	seq     int
+	ready   *Chunk
+
+	rootSeen bool
+	done     bool
+
+	tag []byte // scratch for one tag's bytes
+}
+
+// SplitStep is one child-axis element test of a partition path.
+type SplitStep struct {
+	// Name is the element name to match; ignored when Wildcard is set.
+	Name string
+	// Wildcard matches any element (the child::* step).
+	Wildcard bool
+}
+
+// Chunk is one self-contained slice of the input document.
+type Chunk struct {
+	// Seq is the chunk's position in input order (0-based); the merge
+	// serializer emits chunk outputs in Seq order.
+	Seq int
+	// Records is the number of record subtrees in the chunk.
+	Records int
+	// Data is the chunk document: synthesized ancestor open tags, the
+	// record bytes verbatim, synthesized close tags.
+	Data []byte
+}
+
+// DefaultChunkTarget is the default chunk size target in bytes. Chunks
+// seal at the first record boundary at or past the target — small
+// enough that typical record sections split into several chunks per
+// worker (load balancing), large enough to amortize per-chunk engine
+// setup over hundreds of records.
+const DefaultChunkTarget = 64 << 10
+
+// NewSplitter returns a Splitter reading from r, cutting records at
+// path. The path must be non-empty; records sit at depth len(path).
+func NewSplitter(r io.Reader, path []SplitStep) *Splitter {
+	if len(path) == 0 {
+		panic("xmltok: NewSplitter requires a non-empty partition path")
+	}
+	return &Splitter{
+		r:      bufio.NewReaderSize(r, 64<<10),
+		path:   path,
+		target: DefaultChunkTarget,
+	}
+}
+
+// SetContext attaches a cancellation context, checked between scan
+// steps so a split aborts promptly when the caller gives up.
+func (s *Splitter) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// SetTargetBytes overrides the chunk size target (0 keeps the default).
+func (s *Splitter) SetTargetBytes(n int) {
+	if n > 0 {
+		s.target = n
+	}
+}
+
+// Next returns the next chunk of the stream in input order. At end of
+// input it returns io.EOF; malformed nesting is reported as a
+// SyntaxError just as the Tokenizer would.
+func (s *Splitter) Next() (Chunk, error) {
+	for {
+		if s.ready != nil {
+			c := *s.ready
+			s.ready = nil
+			return c, nil
+		}
+		if s.done {
+			return Chunk{}, io.EOF
+		}
+		if s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				return Chunk{}, err
+			}
+		}
+		if err := s.scan(); err != nil {
+			return Chunk{}, err
+		}
+	}
+}
+
+func (s *Splitter) depth() int { return len(s.nameLen) }
+
+// scan consumes character data up to the next markup construct, then
+// the construct itself.
+func (s *Splitter) scan() error {
+	for {
+		data, err := s.r.ReadSlice('<')
+		s.off += int64(len(data))
+		switch err {
+		case nil:
+			if terr := s.text(data[:len(data)-1]); terr != nil {
+				return terr
+			}
+			return s.markup()
+		case bufio.ErrBufferFull:
+			if terr := s.text(data); terr != nil {
+				return terr
+			}
+		case io.EOF:
+			if terr := s.text(data); terr != nil {
+				return terr
+			}
+			return s.finish()
+		default:
+			return fmt.Errorf("xmltok: read error at byte %d: %w", s.off, err)
+		}
+	}
+}
+
+// text handles character data: copied verbatim inside records, dropped
+// between them, rejected outside the document element.
+func (s *Splitter) text(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if s.capturing {
+		s.buf = append(s.buf, b...)
+		return nil
+	}
+	if s.depth() == 0 && !resolvesToWhitespace(b) {
+		if s.rootSeen {
+			return s.errf("content after document element")
+		}
+		return s.errf("character data outside document element")
+	}
+	return nil
+}
+
+func allWhitespace(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// resolvesToWhitespace reports whether character data is whitespace-only
+// after entity resolution. The tokenizer resolves references before its
+// whitespace test, so text like "&#32;" outside the document element is
+// accepted there; the splitter must agree (FuzzSplitter parity). The
+// entity grammar mirrors the tokenizer's: ';'-terminated, at most 12
+// name bytes.
+func resolvesToWhitespace(b []byte) bool {
+	for i := 0; i < len(b); {
+		switch c := b[i]; {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '&':
+			j := i + 1
+			for j < len(b) && b[j] != ';' {
+				j++
+			}
+			if j >= len(b) || j-i-1 > 12 {
+				return false
+			}
+			r, ok := resolveEntity(string(b[i+1 : j]))
+			if !ok || !allWhitespace([]byte(r)) {
+				return false
+			}
+			i = j + 1
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// markup dispatches on the construct following '<'.
+func (s *Splitter) markup() error {
+	b, err := s.r.ReadByte()
+	if err != nil {
+		return s.errf("unexpected end of input in markup")
+	}
+	s.off++
+	switch b {
+	case '?':
+		return s.throughPattern("?>", "<?")
+	case '!':
+		return s.bang()
+	case '/':
+		return s.endTag()
+	default:
+		_ = s.r.UnreadByte()
+		s.off--
+		return s.startTag()
+	}
+}
+
+// bang handles "<!..." constructs, mirroring the Tokenizer: comments,
+// CDATA sections, DOCTYPE-style declarations.
+func (s *Splitter) bang() error {
+	b, err := s.r.ReadByte()
+	if err != nil {
+		return s.errf("unexpected end of input after '<!'")
+	}
+	s.off++
+	switch b {
+	case '-':
+		b2, err := s.r.ReadByte()
+		if err != nil || b2 != '-' {
+			return s.errf("malformed comment")
+		}
+		s.off++
+		return s.throughPattern("-->", "<!--")
+	case '[':
+		const open = "CDATA["
+		for i := 0; i < len(open); i++ {
+			b2, err := s.r.ReadByte()
+			if err != nil || b2 != open[i] {
+				return s.errf("malformed CDATA section")
+			}
+			s.off++
+		}
+		return s.throughPattern("]]>", "<![CDATA[")
+	default:
+		_ = s.r.UnreadByte()
+		s.off--
+		return s.throughPattern(">", "<!")
+	}
+}
+
+// throughPattern consumes input through the first occurrence of pat,
+// copying opening plus the consumed bytes into the chunk while inside a
+// record.
+func (s *Splitter) throughPattern(pat, opening string) error {
+	if s.capturing {
+		s.buf = append(s.buf, opening...)
+	}
+	matched := 0
+	for matched < len(pat) {
+		b, err := s.r.ReadByte()
+		if err != nil {
+			return s.errf("unexpected end of input looking for %q", pat)
+		}
+		s.off++
+		if s.capturing {
+			s.buf = append(s.buf, b)
+		}
+		matched = patAdvance(pat, matched, b)
+	}
+	return nil
+}
+
+// readTagBody returns the bytes between '<' (already consumed, along
+// with any '/' marker handled by the caller) and the matching unquoted
+// '>', excluding the terminator. In the common case — the whole tag is
+// buffered and carries no quoted '>' — the returned slice aliases the
+// reader's buffer and is valid only until the next read; tags spanning
+// buffer boundaries fall back to the s.tag scratch.
+func (s *Splitter) readTagBody() ([]byte, error) {
+	var quote byte
+	first := true
+	for {
+		data, err := s.r.ReadSlice('>')
+		s.off += int64(len(data))
+		switch err {
+		case nil:
+			body := data[:len(data)-1]
+			quote = scanQuotes(quote, body)
+			if quote == 0 {
+				if first {
+					return body, nil
+				}
+				s.tag = append(s.tag, body...)
+				return s.tag, nil
+			}
+			// the '>' was inside an attribute value: keep it, continue
+			if first {
+				s.tag, first = s.tag[:0], false
+			}
+			s.tag = append(s.tag, body...)
+			s.tag = append(s.tag, '>')
+		case bufio.ErrBufferFull:
+			quote = scanQuotes(quote, data)
+			if first {
+				s.tag, first = s.tag[:0], false
+			}
+			s.tag = append(s.tag, data...)
+		default:
+			return nil, s.errf("unexpected end of input in tag")
+		}
+	}
+}
+
+// scanQuotes advances the attribute-quoting state across b. Short
+// bodies (nearly every tag) use a plain loop; long ones amortize the
+// vectorized IndexByte.
+func scanQuotes(quote byte, b []byte) byte {
+	if len(b) <= 64 {
+		for _, c := range b {
+			switch {
+			case quote == 0 && (c == '"' || c == '\''):
+				quote = c
+			case c == quote:
+				quote = 0
+			}
+		}
+		return quote
+	}
+	for len(b) > 0 {
+		if quote == 0 {
+			i := bytes.IndexByte(b, '"')
+			j := bytes.IndexByte(b, '\'')
+			if i < 0 {
+				i = j
+			} else if j >= 0 && j < i {
+				i = j
+			}
+			if i < 0 {
+				return 0
+			}
+			quote = b[i]
+			b = b[i+1:]
+		} else {
+			i := bytes.IndexByte(b, quote)
+			if i < 0 {
+				return quote
+			}
+			quote = 0
+			b = b[i+1:]
+		}
+	}
+	return quote
+}
+
+// tagName parses the leading element name of a tag body.
+func (s *Splitter) tagName(body []byte) ([]byte, error) {
+	i := 0
+	for i < len(body) && isNameByte(body[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return nil, s.errf("expected name")
+	}
+	return body[:i], nil
+}
+
+func (s *Splitter) endTag() error {
+	body, err := s.readTagBody()
+	if err != nil {
+		return err
+	}
+	name, err := s.tagName(body)
+	if err != nil {
+		return err
+	}
+	if len(name) != len(body) && !allWhitespace(body[len(name):]) {
+		return s.errf("malformed end tag </%s", name)
+	}
+	d := s.depth()
+	if d == 0 {
+		return s.errf("unexpected </%s> with no open element", name)
+	}
+	top := s.top()
+	if string(top) != string(name) {
+		return s.errf("mismatched </%s>, expected </%s>", name, top)
+	}
+	if s.capturing {
+		s.buf = append(s.buf, '<', '/')
+		s.buf = append(s.buf, body...)
+		s.buf = append(s.buf, '>')
+		if d == len(s.path) { // record root closed
+			s.capturing = false
+			s.sealIfFull()
+		}
+	} else if d < len(s.path) && s.records > 0 {
+		// an ancestor of the open chunk's records closed
+		s.seal()
+	}
+	s.pop()
+	if s.matchDepth > s.depth() {
+		s.matchDepth = s.depth()
+	}
+	if s.depth() == 0 {
+		s.rootSeen = true
+	}
+	return nil
+}
+
+func (s *Splitter) startTag() error {
+	if s.depth() == 0 && s.rootSeen {
+		return s.errf("content after document element")
+	}
+	body, err := s.readTagBody()
+	if err != nil {
+		return err
+	}
+	selfClose := len(body) > 0 && body[len(body)-1] == '/'
+	nameSrc := body
+	if selfClose {
+		nameSrc = body[:len(body)-1]
+	}
+	name, err := s.tagName(nameSrc)
+	if err != nil {
+		return err
+	}
+	d := s.depth()
+	matched := !s.capturing && d == s.matchDepth && d < len(s.path) && s.stepMatches(d, name)
+	isRecord := matched && d+1 == len(s.path)
+	if isRecord {
+		s.beginChunkIfNeeded()
+		s.records++
+	}
+	if s.capturing || isRecord {
+		s.buf = append(s.buf, '<')
+		s.buf = append(s.buf, body...)
+		s.buf = append(s.buf, '>')
+	}
+	if selfClose {
+		if isRecord {
+			s.sealIfFull()
+		}
+		if d == 0 {
+			s.rootSeen = true
+		}
+		return nil
+	}
+	s.push(name)
+	if matched {
+		s.matchDepth = d + 1
+	}
+	if isRecord {
+		s.capturing = true
+	}
+	return nil
+}
+
+func (s *Splitter) stepMatches(d int, name []byte) bool {
+	step := s.path[d]
+	return step.Wildcard || step.Name == string(name)
+}
+
+// beginChunkIfNeeded starts a chunk at the first record: it snapshots
+// the ancestor chain and writes its synthesized open tags.
+func (s *Splitter) beginChunkIfNeeded() {
+	if s.records > 0 {
+		return // same chunk, same ancestors (seal() fires on ancestor close)
+	}
+	s.anc = s.anc[:0]
+	pos := 0
+	for _, n := range s.nameLen {
+		s.anc = append(s.anc, string(s.nameBuf[pos:pos+n]))
+		pos += n
+	}
+	if s.buf == nil {
+		s.buf = make([]byte, 0, s.target+4096)
+	}
+	for _, name := range s.anc {
+		s.buf = append(s.buf, '<')
+		s.buf = append(s.buf, name...)
+		s.buf = append(s.buf, '>')
+	}
+}
+
+func (s *Splitter) sealIfFull() {
+	if len(s.buf) >= s.target {
+		s.seal()
+	}
+}
+
+// seal closes the current chunk: append the ancestor close tags and
+// hand the buffer off as the next ready chunk.
+func (s *Splitter) seal() {
+	for i := len(s.anc) - 1; i >= 0; i-- {
+		s.buf = append(s.buf, '<', '/')
+		s.buf = append(s.buf, s.anc[i]...)
+		s.buf = append(s.buf, '>')
+	}
+	s.ready = &Chunk{Seq: s.seq, Records: s.records, Data: s.buf}
+	s.seq++
+	s.buf = nil
+	s.records = 0
+}
+
+// finish handles end of input.
+func (s *Splitter) finish() error {
+	if d := s.depth(); d > 0 {
+		return s.errf("unexpected end of input inside <%s>", s.top())
+	}
+	s.done = true
+	if s.records > 0 {
+		s.seal()
+	}
+	return nil
+}
+
+func (s *Splitter) push(name []byte) {
+	s.nameBuf = append(s.nameBuf, name...)
+	s.nameLen = append(s.nameLen, len(name))
+}
+
+func (s *Splitter) top() []byte {
+	n := s.nameLen[len(s.nameLen)-1]
+	return s.nameBuf[len(s.nameBuf)-n:]
+}
+
+func (s *Splitter) pop() {
+	n := s.nameLen[len(s.nameLen)-1]
+	s.nameBuf = s.nameBuf[:len(s.nameBuf)-n]
+	s.nameLen = s.nameLen[:len(s.nameLen)-1]
+}
+
+func (s *Splitter) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: s.off, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,40 @@
+package xmltok
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// BenchmarkSplitter measures raw splitter throughput over an XMark-like
+// document — the serial stage of sharded execution, so its throughput
+// bounds the achievable sharded speedup (DESIGN.md §6).
+func BenchmarkSplitter(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<site><regions>")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString(`<item id="i"><name>gold silver</name><description><text>a longer run of text that looks like xmark prose, with several words</text></description></item>`)
+	}
+	sb.WriteString("</regions><people>")
+	for i := 0; i < 3000; i++ {
+		sb.WriteString(`<person id="p"><name>someone</name><emailaddress>mailto:x@example.net</emailaddress><profile income="52000"><education>x</education></profile></person>`)
+	}
+	sb.WriteString("</people></site>")
+	doc := sb.String()
+	path := []SplitStep{{Name: "site"}, {Name: "people"}, {Name: "person"}}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := NewSplitter(strings.NewReader(doc), path)
+		for {
+			_, err := sp.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

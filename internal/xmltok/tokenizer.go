@@ -37,8 +37,11 @@ type Tokenizer struct {
 
 	// ctx, when non-nil, is checked at every token pull; Next returns
 	// ctx.Err() as soon as the context is cancelled, so a streaming run
-	// aborts within one token of cancellation.
-	ctx context.Context
+	// aborts within one token of cancellation. ctxDone caches ctx.Done()
+	// so the per-token check is a lock-free channel poll rather than a
+	// mutex-guarded ctx.Err() call.
+	ctx     context.Context
+	ctxDone <-chan struct{}
 
 	// KeepWhitespace controls whether whitespace-only text nodes are
 	// reported. Data-oriented processing (the default) drops them; the
@@ -91,6 +94,7 @@ func NewTokenizer(r io.Reader) *Tokenizer {
 	t.peeked = nil
 	t.ioErr = nil
 	t.ctx = nil
+	t.ctxDone = nil
 	t.KeepWhitespace = false
 	t.count = 0
 	t.depth = 0
@@ -103,7 +107,13 @@ func NewTokenizer(r io.Reader) *Tokenizer {
 
 // SetContext attaches a cancellation context. Next fails with ctx.Err()
 // at the first token pull after cancellation.
-func (t *Tokenizer) SetContext(ctx context.Context) { t.ctx = ctx }
+func (t *Tokenizer) SetContext(ctx context.Context) {
+	t.ctx = ctx
+	t.ctxDone = nil
+	if ctx != nil {
+		t.ctxDone = ctx.Done()
+	}
+}
 
 // Release returns the tokenizer's buffers to the pool. The tokenizer
 // must not be used afterwards; counters read before Release stay valid.
@@ -115,6 +125,7 @@ func (t *Tokenizer) Release() {
 	t.released = true
 	t.r.Reset(eofReader{})
 	t.ctx = nil
+	t.ctxDone = nil
 	t.pending = nil
 	t.peeked = nil
 	tokenizerPool.Put(t)
@@ -145,9 +156,11 @@ func (t *Tokenizer) Peek() (Token, error) {
 // returned instead. If a context was attached with SetContext and has
 // been cancelled, Next returns the context's error without reading.
 func (t *Tokenizer) Next() (Token, error) {
-	if t.ctx != nil {
-		if err := t.ctx.Err(); err != nil {
-			return Token{}, err
+	if t.ctxDone != nil {
+		select {
+		case <-t.ctxDone:
+			return Token{}, t.ctx.Err()
+		default:
 		}
 	}
 	var tok Token
@@ -176,6 +189,10 @@ func (t *Tokenizer) read() (Token, error) {
 		tok := *t.pending
 		t.pending = nil
 		t.stack = t.stack[:len(t.stack)-1]
+		if len(t.stack) == 0 {
+			// a self-closing element completed the document element
+			t.started = true
+		}
 		return tok, nil
 	}
 	if t.done {
@@ -448,17 +465,31 @@ func (t *Tokenizer) readEntity() (string, error) {
 		}
 	}
 	s := name.String()
+	r, ok := resolveEntity(s)
+	if !ok {
+		if strings.HasPrefix(s, "#") {
+			return "", t.errf("malformed character reference &%s;", s)
+		}
+		return "", t.errf("unknown entity &%s;", s)
+	}
+	return r, nil
+}
+
+// resolveEntity resolves the reference name between '&' and ';' — the
+// five XML built-ins or a numeric character reference. Shared with the
+// Splitter so both agree on what resolves (FuzzSplitter parity).
+func resolveEntity(s string) (string, bool) {
 	switch s {
 	case "lt":
-		return "<", nil
+		return "<", true
 	case "gt":
-		return ">", nil
+		return ">", true
 	case "amp":
-		return "&", nil
+		return "&", true
 	case "apos":
-		return "'", nil
+		return "'", true
 	case "quot":
-		return `"`, nil
+		return `"`, true
 	}
 	if strings.HasPrefix(s, "#") {
 		base, digits := 10, s[1:]
@@ -467,11 +498,11 @@ func (t *Tokenizer) readEntity() (string, error) {
 		}
 		n, err := strconv.ParseUint(digits, base, 32)
 		if err != nil {
-			return "", t.errf("malformed character reference &%s;", s)
+			return "", false
 		}
-		return string(rune(n)), nil
+		return string(rune(n)), true
 	}
-	return "", t.errf("unknown entity &%s;", s)
+	return "", false
 }
 
 // readName reads an XML name (simplified NCName: letters, digits, '.',
@@ -553,28 +584,50 @@ func (t *Tokenizer) scanUntil(pat string, collect *[]byte) (int, error) {
 			return n, t.errf("unexpected end of input looking for %q", pat)
 		}
 		n++
-		if b == pat[matched] {
-			matched++
-			continue
-		}
+		prev := matched
+		matched = patAdvance(pat, matched, b)
 		if collect != nil {
-			*collect = append(*collect, pat[:matched]...)
-			// re-check current byte against pattern start
-			if b == pat[0] {
-				matched = 1
-			} else {
-				*collect = append(*collect, b)
-				matched = 0
+			// The unflushed window held pat[:prev]; with b it is prev+1
+			// bytes, of which the oldest prev+1-matched can no longer be
+			// part of a match and belong to the content.
+			if flush := prev + 1 - matched; flush > 0 {
+				if flush <= prev {
+					*collect = append(*collect, pat[:flush]...)
+				} else {
+					*collect = append(*collect, pat[:prev]...)
+					*collect = append(*collect, b)
+				}
 			}
-			continue
-		}
-		if b == pat[0] {
-			matched = 1
-		} else {
-			matched = 0
 		}
 	}
 	return n, nil
+}
+
+// patAdvance is one step of Knuth-Morris-Pratt matching: given that
+// pat[:matched] is the longest pattern prefix ending at the previous
+// byte, it returns the longest prefix ending at b. A plain "reset to 0
+// or 1 on mismatch" loses state on repeated-prefix patterns — "]]]>"
+// contains "]]>" but never matches without the fallback.
+func patAdvance(pat string, matched int, b byte) int {
+	for matched > 0 && b != pat[matched] {
+		matched = patOverlap(pat, matched)
+	}
+	if b == pat[matched] {
+		return matched + 1
+	}
+	return 0
+}
+
+// patOverlap returns the length of the longest proper prefix of
+// pat[:m] that is also its suffix (the KMP failure function; fine to
+// recompute per mismatch for the tiny patterns used here).
+func patOverlap(pat string, m int) int {
+	for k := m - 1; k > 0; k-- {
+		if pat[:k] == pat[m-k:m] {
+			return k
+		}
+	}
+	return 0
 }
 
 func (t *Tokenizer) readByte() (byte, error) {

@@ -126,6 +126,21 @@ func TestEntitiesAndCDATA(t *testing.T) {
 	}
 }
 
+// TestRepeatedPrefixTerminators: a CDATA section ending "]]]>" has
+// content "x]" (its terminator overlaps its own prefix), and a comment
+// ending "--->" is legal to skip; both need the KMP fallback in
+// patAdvance rather than a reset-on-mismatch scan.
+func TestRepeatedPrefixTerminators(t *testing.T) {
+	const doc = `<a><![CDATA[x]]]><!-- dash ---></a>`
+	toks := drain(t, NewTokenizer(strings.NewReader(doc)))
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[1].Text != "x]" {
+		t.Errorf("cdata = %q, want \"x]\"", toks[1].Text)
+	}
+}
+
 func TestSkippedConstructs(t *testing.T) {
 	const doc = `<?xml version="1.0"?><!DOCTYPE a><!-- c --><a><!-- <b> --><?pi data?>x</a>`
 	toks := drain(t, NewTokenizer(strings.NewReader(doc)))

@@ -55,6 +55,15 @@ func FreeVars(e Expr) map[string]bool {
 	return free
 }
 
+// UsedVars is FreeVars with RootVar reported like any other variable —
+// the shardability analysis needs to see whether an expression reads
+// the document root (a cross-partition access).
+func UsedVars(e Expr) map[string]bool {
+	free := map[string]bool{}
+	collectFree(e, map[string]bool{}, free)
+	return free
+}
+
 func use(name string, bound, free map[string]bool) {
 	if !bound[name] {
 		free[name] = true

@@ -1,0 +1,153 @@
+package gcx_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"gcx"
+	"gcx/internal/xmark"
+)
+
+// TestShardedByteIdentity is the public-API acceptance property:
+// sharded output is byte-identical to sequential output for the
+// partitionable XMark queries at shards ∈ {2, 4, 8}.
+func TestShardedByteIdentity(t *testing.T) {
+	doc, _, err := xmark.GenerateString(xmark.Config{TargetBytes: 256 << 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range []string{"Q1", "Q6", "Q13", "Q17", "Q20"} {
+		q := gcx.MustCompile(xmark.Queries[qid].Text)
+		if !q.Shardable() {
+			t.Fatalf("%s should be shardable", qid)
+		}
+		want, _, err := q.ExecuteString(doc, gcx.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{2, 4, 8} {
+			got, res, err := q.ExecuteString(doc, gcx.Options{Shards: n})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", qid, n, err)
+			}
+			if got != want {
+				t.Fatalf("%s shards=%d: output differs from sequential", qid, n)
+			}
+			if res.ShardsUsed != n {
+				t.Fatalf("%s shards=%d: ShardsUsed = %d", qid, n, res.ShardsUsed)
+			}
+			if res.Chunks == 0 {
+				t.Fatalf("%s shards=%d: no chunks reported", qid, n)
+			}
+		}
+	}
+}
+
+// TestShardedFallbacks: non-partitionable queries and recorded runs
+// transparently use the sequential engine.
+func TestShardedFallbacks(t *testing.T) {
+	doc, _, err := xmark.GenerateString(xmark.Config{TargetBytes: 64 << 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Q8's value join reads the whole input per iteration.
+	q8 := gcx.MustCompile(xmark.Queries["Q8"].Text)
+	if q8.Shardable() {
+		t.Fatal("Q8 must not be shardable")
+	}
+	want, _, err := q8.ExecuteString(doc, gcx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := q8.ExecuteString(doc, gcx.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || res.ShardsUsed != 1 || res.Chunks != 0 {
+		t.Fatalf("fallback broken: used=%d chunks=%d identical=%v", res.ShardsUsed, res.Chunks, got == want)
+	}
+
+	// Buffer-plot recording is a sequential feature.
+	q1 := gcx.MustCompile(xmark.Queries["Q1"].Text)
+	_, res, err = q1.ExecuteString(doc, gcx.Options{Shards: 4, RecordEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsUsed != 1 || len(res.Series) == 0 {
+		t.Fatalf("RecordEvery fallback broken: used=%d series=%d", res.ShardsUsed, len(res.Series))
+	}
+
+	// Negative shard counts are a caller bug, not a silent fallback.
+	if _, _, err := q1.ExecuteString(doc, gcx.Options{Shards: -1}); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+}
+
+func TestShardableExplain(t *testing.T) {
+	q := gcx.MustCompile(xmark.Queries["Q1"].Text)
+	if !strings.Contains(q.Explain(), "Sharding: partitionable on /site/people/person") {
+		t.Fatalf("Explain missing sharding verdict:\n%s", q.Explain())
+	}
+	q8 := gcx.MustCompile(xmark.Queries["Q8"].Text)
+	if !strings.Contains(q8.Explain(), "Sharding: sequential only") {
+		t.Fatalf("Explain missing fallback reason:\n%s", q8.Explain())
+	}
+}
+
+// TestShardedConcurrentQueries: one compiled Query serving concurrent
+// sharded executions, per the package's concurrency guarantee.
+func TestShardedConcurrentQueries(t *testing.T) {
+	doc, _, err := xmark.GenerateString(xmark.Config{TargetBytes: 128 << 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := gcx.MustCompile(xmark.Queries["Q1"].Text)
+	want, _, err := q.ExecuteString(doc, gcx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			got, _, err := q.ExecuteString(doc, gcx.Options{Shards: 2 + n%3})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != want {
+				t.Errorf("goroutine %d: output differs", n)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteStringContext(t *testing.T) {
+	q := gcx.MustCompile(xmark.Queries["Q1"].Text)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	doc, _, err := xmark.GenerateString(xmark.Config{TargetBytes: 32 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.ExecuteStringContext(ctx, doc, gcx.Options{}); err != context.Canceled {
+		t.Fatalf("sequential: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := q.ExecuteStringContext(ctx, doc, gcx.Options{Shards: 4}); err != context.Canceled {
+		t.Fatalf("sharded: err = %v, want context.Canceled", err)
+	}
+	// And the non-cancelled path still works.
+	if _, _, err := q.ExecuteStringContext(context.Background(), doc, gcx.Options{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
