@@ -1,0 +1,44 @@
+# Developer workflow for the GCX reproduction. CI runs the same steps
+# (.github/workflows/ci.yml), so a green `make check bench` locally
+# predicts a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race check bench benchstat fuzz-smoke
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build race
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
+
+# bench regenerates the committed BENCH_gcx.json perf baseline (also
+# wired as `go generate ./...`). Keep the matrix small enough for CI;
+# widen locally with e.g. `go run ./cmd/gcxbench -sizes 1,5 -reps 5`.
+bench:
+	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q13 -engines gcx -reps 3 -json BENCH_gcx.json
+
+# benchstat compares a fresh run against the committed baseline
+# (requires golang.org/x/perf's benchstat on PATH or via `go run`).
+benchstat:
+	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q13 -engines gcx -reps 3 -json /tmp/BENCH_gcx.new.json
+	@command -v jq >/dev/null || { echo "jq required" >&2; exit 1; }
+	jq -r '.entries[].gobench' BENCH_gcx.json > /tmp/bench_old.txt
+	jq -r '.entries[].gobench' /tmp/BENCH_gcx.new.json > /tmp/bench_new.txt
+	-$(GO) run golang.org/x/perf/cmd/benchstat@latest /tmp/bench_old.txt /tmp/bench_new.txt
+
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzTokenizer -fuzztime 10s ./internal/xmltok
+	$(GO) test -run xxx -fuzz FuzzSplitter -fuzztime 10s ./internal/xmltok
+	$(GO) test -run xxx -fuzz FuzzSkipSubtree -fuzztime 10s ./internal/xmltok
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/xqparse

@@ -235,6 +235,36 @@ func BenchmarkShardedExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkSkippingExecute measures what projection-guided byte-level
+// subtree skipping (DESIGN.md §7) buys on the sequential hot path:
+// each query runs with skipping on (default) and off, over the same
+// document. The skipped_KB metric is the per-run BytesSkipped — the
+// share of the input the path automaton proved unobservable and the
+// engine fast-forwarded past without tokenizing.
+func BenchmarkSkippingExecute(b *testing.B) {
+	doc := xmarkDoc(b, 4<<20)
+	for _, qid := range []string{"Q1", "Q6", "Q13"} {
+		q, err := gcx.Compile(xmark.Queries[qid].Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, variant := range []struct {
+			name string
+			off  bool
+		}{{"skip", false}, {"noskip", true}} {
+			b.Run(qid+"/"+variant.name, func(b *testing.B) {
+				b.SetBytes(int64(len(doc)))
+				b.ReportAllocs()
+				var res *gcx.Result
+				for i := 0; i < b.N; i++ {
+					res = runQuery(b, q, doc, gcx.Options{DisableSubtreeSkip: variant.off})
+				}
+				b.ReportMetric(float64(res.BytesSkipped)/1024, "skipped_KB")
+			})
+		}
+	}
+}
+
 // BenchmarkParallelExecute measures the concurrent-service path: one
 // shared compiled query, executions fanned out over GOMAXPROCS
 // goroutines (b.RunParallel), allocations reported so the pooling of

@@ -140,10 +140,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	if *showStats {
 		fmt.Fprintf(stderr,
-			"tokens=%d peak_nodes=%d peak_bytes=%d final_nodes=%d appended=%d purged=%d output_bytes=%d shards=%d chunks=%d time=%s\n",
+			"tokens=%d peak_nodes=%d peak_bytes=%d final_nodes=%d appended=%d purged=%d output_bytes=%d bytes_skipped=%d tags_skipped=%d shards=%d chunks=%d time=%s\n",
 			res.TokensProcessed, res.PeakBufferedNodes, res.PeakBufferedBytes,
 			res.FinalBufferedNodes, res.TotalAppended, res.TotalPurged,
-			res.OutputBytes, res.ShardsUsed, res.Chunks, res.Duration)
+			res.OutputBytes, res.BytesSkipped, res.TagsSkipped, res.ShardsUsed, res.Chunks, res.Duration)
 	}
 	return 0
 }

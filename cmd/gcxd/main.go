@@ -82,6 +82,11 @@ type server struct {
 	shardWorkers    atomic.Int64
 	shardChunks     atomic.Int64
 	shardFallbacks  atomic.Int64
+
+	// Subtree-skipping counters (DESIGN.md §7): input bytes the engines
+	// fast-forwarded past without tokenizing, and fast-forwards taken.
+	bytesSkipped    atomic.Int64
+	subtreesSkipped atomic.Int64
 }
 
 func newServer(cacheSize int) *server {
@@ -173,7 +178,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "application/xml")
-	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Shards")
+	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Shards, X-Gcx-Bytes-Skipped")
 	cw := &countingWriter{w: w}
 	res, err := q.ExecuteContext(r.Context(), r.Body, cw, opts)
 	s.bytesOut.Add(cw.n)
@@ -195,9 +200,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.shardFallbacks.Add(1)
 		}
 	}
+	s.bytesSkipped.Add(res.BytesSkipped)
+	s.subtreesSkipped.Add(res.SubtreesSkipped)
 	w.Header().Set("X-Gcx-Tokens", fmt.Sprint(res.TokensProcessed))
 	w.Header().Set("X-Gcx-Peak-Nodes", fmt.Sprint(res.PeakBufferedNodes))
 	w.Header().Set("X-Gcx-Shards", fmt.Sprint(res.ShardsUsed))
+	w.Header().Set("X-Gcx-Bytes-Skipped", fmt.Sprint(res.BytesSkipped))
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, msg string) {
@@ -224,5 +232,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shard_workers":    s.shardWorkers.Load(),
 		"shard_chunks":     s.shardChunks.Load(),
 		"shard_fallbacks":  s.shardFallbacks.Load(),
+		"bytes_skipped":    s.bytesSkipped.Load(),
+		"subtrees_skipped": s.subtreesSkipped.Load(),
 	})
 }

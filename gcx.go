@@ -81,6 +81,13 @@ type Options struct {
 	// sum(), min(), max(), avg() in output position (the paper's
 	// fragment excludes aggregation).
 	EnableAggregation bool
+	// DisableSubtreeSkip turns off projection-guided byte-level subtree
+	// skipping (DESIGN.md §7), forcing the streaming engines to
+	// tokenize every input byte. The query output is byte-identical
+	// either way; the switch exists for A/B measurements and parity
+	// tests. Runs with RecordEvery set disable skipping automatically,
+	// so the recorded per-token buffer plots keep the paper's x-axis.
+	DisableSubtreeSkip bool
 	// RecordEvery samples (tokens processed → nodes buffered) every N
 	// tokens for buffer plots like the paper's Figures 3 and 4;
 	// 0 disables recording.
@@ -122,7 +129,12 @@ type SeriesPoint struct {
 
 // Result reports the statistics of one execution.
 type Result struct {
-	// TokensProcessed is the number of input tokens consumed.
+	// TokensProcessed is the number of input tokens delivered to the
+	// engine. With subtree skipping active (the default, DESIGN.md §7)
+	// tokens inside skipped subtrees are not produced and therefore not
+	// counted — see BytesSkipped/TagsSkipped for what was
+	// fast-forwarded. Runs with DisableSubtreeSkip or RecordEvery set
+	// count every token of the document.
 	TokensProcessed int64
 	// PeakBufferedNodes is the buffer high watermark in nodes.
 	PeakBufferedNodes int64
@@ -135,6 +147,18 @@ type Result struct {
 	TotalPurged   int64
 	// OutputBytes is the size of the serialized result.
 	OutputBytes int64
+	// BytesSkipped is the number of input bytes the engine
+	// fast-forwarded past at byte level without tokenizing, because the
+	// compiled path automaton proved no projection path could observe
+	// them (DESIGN.md §7). Zero when skipping is disabled or the query
+	// observes the whole document.
+	BytesSkipped int64
+	// TagsSkipped counts element tags inside skipped subtrees — a lower
+	// bound on the tokens the run did not have to produce (text runs in
+	// skipped subtrees are not counted).
+	TagsSkipped int64
+	// SubtreesSkipped counts byte-level fast-forwards taken.
+	SubtreesSkipped int64
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
 	// Series is the recorded buffer plot (empty unless
@@ -259,6 +283,7 @@ func (q *Query) Execute(input io.Reader, output io.Writer, opts Options) (*Resul
 func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.Writer, opts Options) (*Result, error) {
 	execOpts := core.ExecOptions{
 		EnableAggregation: opts.EnableAggregation,
+		DisableSkip:       opts.DisableSubtreeSkip,
 		RecordEvery:       opts.RecordEvery,
 	}
 	switch opts.Engine {
@@ -302,6 +327,9 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 			TotalAppended:      sres.TotalAppended,
 			TotalPurged:        sres.TotalPurged,
 			OutputBytes:        sres.OutputBytes,
+			BytesSkipped:       sres.BytesSkipped,
+			TagsSkipped:        sres.TagsSkipped,
+			SubtreesSkipped:    sres.SubtreesSkipped,
 			Duration:           sres.Duration,
 			ShardsUsed:         shards,
 			Chunks:             sres.Chunks,
@@ -319,6 +347,9 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		TotalAppended:      res.TotalAppended,
 		TotalPurged:        res.TotalPurged,
 		OutputBytes:        res.OutputBytes,
+		BytesSkipped:       res.BytesSkipped,
+		TagsSkipped:        res.TagsSkipped,
+		SubtreesSkipped:    res.SubtreesSkipped,
 		Duration:           res.Duration,
 		ShardsUsed:         1,
 	}

@@ -1,0 +1,10 @@
+package gcx
+
+// BENCH_gcx.json is the committed perf baseline of the repository:
+// per-query MB/s, ns/op, allocs/op, bytes skipped (cmd/gcxbench
+// -json). CI regenerates it on every run, uploads the fresh file as an
+// artifact, and benchstat-compares it (warn-only) against the
+// committed copy, so the perf trajectory is tracked across PRs.
+// Refresh the baseline on a quiet machine with `make bench` or:
+//
+//go:generate go run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q13 -engines gcx -reps 3 -json BENCH_gcx.json

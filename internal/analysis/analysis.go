@@ -87,6 +87,13 @@ type Plan struct {
 	Roles []Role
 	// UsesAggregation reports whether the query uses the aggregation extension.
 	UsesAggregation bool
+	// Automaton is the path automaton compiled from the role paths at
+	// analysis time (DESIGN.md §7): the engine's preprojector uses its
+	// dead states to fast-forward the byte stream past subtrees no
+	// projection path can observe. It is nil when the path set cannot
+	// be compiled (then runs simply never skip), immutable, and shared
+	// by all executions of the plan.
+	Automaton *xpath.Automaton
 	// Opts are the analysis switches the plan was compiled with, kept so
 	// derived plans (sharding) reuse the same analysis.
 	Opts Options
@@ -153,11 +160,13 @@ func AnalyzeWithOptions(q *xqast.Query, opts Options) (*Plan, error) {
 		return nil, err
 	}
 	rewritten := &xqast.Query{Body: ex.rewrite(norm.Body, nil)}
-	return &Plan{
+	plan := &Plan{
 		Normalized:      pristine,
 		Rewritten:       rewritten,
 		Roles:           ex.roles,
 		UsesAggregation: ex.usesAggregation,
 		Opts:            opts,
-	}, nil
+	}
+	plan.Automaton = xpath.CompileAutomaton(plan.RolePaths())
+	return plan, nil
 }

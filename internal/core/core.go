@@ -84,6 +84,10 @@ type ExecOptions struct {
 	Engine            EngineKind
 	SignOffMode       engine.SignOffMode
 	EnableAggregation bool
+	// DisableSkip turns off projection-guided byte-level subtree
+	// skipping (DESIGN.md §7); used by A/B measurements and parity
+	// tests. Recording runs disable skipping regardless.
+	DisableSkip bool
 	// RecordEvery samples the buffer plot every N tokens (0 disables).
 	// Recording is only meaningful for the streaming engines.
 	RecordEvery int64
@@ -123,6 +127,7 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 			SignOffMode:       opts.SignOffMode,
 			DisableGC:         opts.Engine == ProjectionOnly,
 			EnableAggregation: opts.EnableAggregation,
+			DisableSkip:       opts.DisableSkip,
 		}
 		if opts.RecordEvery > 0 {
 			rec = stats.NewRecorder(opts.RecordEvery)

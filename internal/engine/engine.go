@@ -49,13 +49,22 @@ type Config struct {
 	DisableGC bool
 	// EnableAggregation permits the count() aggregation extension.
 	EnableAggregation bool
+	// DisableSkip turns off projection-guided byte-level subtree
+	// skipping (DESIGN.md §7) for this run; output is identical either
+	// way. Skipping is also disabled implicitly when a Recorder is set,
+	// because skipped subtrees do not count into the per-token buffer
+	// plots.
+	DisableSkip bool
 	// Recorder, if non-nil, samples the buffer size per input token.
 	Recorder *stats.Recorder
 }
 
 // Result reports the run statistics the paper's evaluation uses.
 type Result struct {
-	// TokensProcessed is the number of input tokens consumed.
+	// TokensProcessed is the number of input tokens delivered to the
+	// preprojector; tokens inside skipped subtrees (DESIGN.md §7) are
+	// never produced and not counted — BytesSkipped/TagsSkipped report
+	// the fast-forwarded remainder.
 	TokensProcessed int64
 	// PeakBufferedNodes is the high watermark of buffered XML nodes.
 	PeakBufferedNodes int64
@@ -69,6 +78,15 @@ type Result struct {
 	TotalPurged   int64
 	// OutputBytes is the size of the serialized result.
 	OutputBytes int64
+	// BytesSkipped is the number of input bytes the preprojector
+	// fast-forwarded past at byte level (projection-guided subtree
+	// skipping, DESIGN.md §7) without tokenizing.
+	BytesSkipped int64
+	// TagsSkipped counts element tags inside skipped subtrees — a lower
+	// bound on the tokens saved (skipped text runs are not counted).
+	TagsSkipped int64
+	// SubtreesSkipped counts SkipSubtree fast-forwards.
+	SubtreesSkipped int64
 }
 
 // Engine evaluates one compiled query over one input stream.
@@ -91,6 +109,9 @@ func New(plan *analysis.Plan, input io.Reader, output io.Writer, cfg Config) *En
 	buf.DisableGC = cfg.DisableGC
 	tz := xmltok.NewTokenizer(input)
 	proj := projection.New(tz, buf, plan.RolePaths())
+	if !cfg.DisableSkip && cfg.Recorder == nil {
+		proj.EnableSkipping(plan.Automaton)
+	}
 	e := &Engine{
 		plan: plan,
 		cfg:  cfg,
@@ -152,6 +173,9 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		TotalAppended:      e.buf.TotalAppended,
 		TotalPurged:        e.buf.TotalPurged,
 		OutputBytes:        e.out.BytesWritten(),
+		BytesSkipped:       e.tz.BytesSkipped(),
+		TagsSkipped:        e.tz.TagsSkipped(),
+		SubtreesSkipped:    e.tz.SubtreesSkipped(),
 	}, nil
 }
 

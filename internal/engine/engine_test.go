@@ -344,7 +344,10 @@ func TestEmptyInputAndNoMatches(t *testing.T) {
 
 // TestEarlyAnswerStillReadsWholeInput: Fig. 5 Q1-style early answers do
 // not shortcut the stream (times scale with document size in the
-// paper).
+// paper). With subtree skipping the irrelevant <c/> subtrees are
+// fast-forwarded rather than tokenized, but every token is still
+// accounted for: processed tokens plus skipped tags cover the whole
+// document, and a skip-disabled run tokenizes all 16.
 func TestEarlyAnswerStillReadsWholeInput(t *testing.T) {
 	const q = `<r>{ if (exists /a/b) then "y" else "n" }</r>`
 	const doc = `<a><b/><c/><c/><c/><c/><c/><c/></a>`
@@ -352,8 +355,18 @@ func TestEarlyAnswerStillReadsWholeInput(t *testing.T) {
 	if out != `<r>y</r>` {
 		t.Fatalf("got %q", out)
 	}
+	if res.TokensProcessed+res.TagsSkipped != 16 {
+		t.Fatalf("tokens %d + skipped tags %d, want 16 total", res.TokensProcessed, res.TagsSkipped)
+	}
+	if res.SubtreesSkipped != 6 {
+		t.Fatalf("subtrees skipped = %d, want the 6 <c/> elements", res.SubtreesSkipped)
+	}
+	out, res, _ = run(t, q, doc, Config{DisableSkip: true})
+	if out != `<r>y</r>` {
+		t.Fatalf("skip-disabled run got %q", out)
+	}
 	if res.TokensProcessed != 16 {
-		t.Fatalf("tokens = %d, want all 16", res.TokensProcessed)
+		t.Fatalf("skip-disabled tokens = %d, want all 16", res.TokensProcessed)
 	}
 }
 

@@ -60,6 +60,15 @@ type Preprojector struct {
 	stack []frame
 	eof   bool
 
+	// dfa, when non-nil, enables projection-guided subtree skipping
+	// (DESIGN.md §7): dfaStack carries one automaton state per open
+	// frame, and a StartElement whose successor state is dead — no
+	// projection path can match at or below it — is fast-forwarded at
+	// byte level via Tokenizer.SkipSubtree instead of being matched
+	// frame by frame.
+	dfa      *xpath.Automaton
+	dfaStack []int32
+
 	// OnToken, if set, is invoked after every processed token — the
 	// hook used to record the paper's buffer plots.
 	OnToken func()
@@ -95,6 +104,22 @@ func New(tz *xmltok.Tokenizer, buf *buffer.Buffer, rolePaths []xpath.Path) *Prep
 	return p
 }
 
+// EnableSkipping turns on byte-level subtree skipping driven by the
+// given path automaton (compiled from the same role paths this
+// preprojector matches — analysis.Plan.Automaton). It must be called
+// before the first Step; a nil automaton leaves skipping off. Skipping
+// never changes the buffered tree or the query output; it does change
+// TokensProcessed, which stops counting tokens inside skipped
+// subtrees, so measurement runs that record per-token buffer plots
+// keep it disabled.
+func (p *Preprojector) EnableSkipping(a *xpath.Automaton) {
+	if a == nil {
+		return
+	}
+	p.dfa = a
+	p.dfaStack = append(p.dfaStack[:0], a.Start())
+}
+
 // TokensProcessed reports the number of input tokens consumed.
 func (p *Preprojector) TokensProcessed() int64 { return p.tz.TokenCount() }
 
@@ -117,7 +142,9 @@ func (p *Preprojector) Step() (bool, error) {
 	}
 	switch tok.Kind {
 	case xmltok.StartElement:
-		p.startElement(tok)
+		if err := p.startElement(tok); err != nil {
+			return false, err
+		}
 	case xmltok.EndElement:
 		p.endElement()
 	case xmltok.Text:
@@ -156,7 +183,16 @@ func (c *completion) add(role, count int) {
 	c.counts[role] += count
 }
 
-func (p *Preprojector) startElement(tok xmltok.Token) {
+func (p *Preprojector) startElement(tok xmltok.Token) error {
+	var dfaNext int32
+	if p.dfa != nil {
+		// Static dead-state test: a single table lookup decides subtree
+		// relevance before any per-item test re-evaluation happens.
+		dfaNext = p.dfa.Next(p.dfaStack[len(p.dfaStack)-1], tok.Name)
+		if p.dfa.Dead(dfaNext) {
+			return p.tz.SkipSubtree()
+		}
+	}
 	parent := &p.stack[len(p.stack)-1]
 	nf := frame{name: tok.Name, attrs: tok.Attrs}
 	var done completion
@@ -203,8 +239,18 @@ func (p *Preprojector) startElement(tok xmltok.Token) {
 				p.buf.AssignRole(nf.node, role)
 			}
 		}
+	} else if p.dfa != nil && len(nf.items) == 0 {
+		// Dynamic dead test: the automaton over-approximates (it
+		// ignores first-witness [1] latches), so an element can be
+		// statically alive yet carry no active items and no completed
+		// role — nothing below it can match either. Skip it too.
+		return p.tz.SkipSubtree()
 	}
 	p.stack = append(p.stack, nf)
+	if p.dfa != nil {
+		p.dfaStack = append(p.dfaStack, dfaNext)
+	}
+	return nil
 }
 
 // advance places item it into frame nf, resolving steps that can match
@@ -246,6 +292,9 @@ func (p *Preprojector) advance(nf *frame, it item, done *completion) {
 func (p *Preprojector) endElement() {
 	top := p.stack[len(p.stack)-1]
 	p.stack = p.stack[:len(p.stack)-1]
+	if p.dfa != nil {
+		p.dfaStack = p.dfaStack[:len(p.dfaStack)-1]
+	}
 	if top.node != nil {
 		p.buf.CloseNode(top.node)
 	}

@@ -184,6 +184,9 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 				agg.TotalAppended += r.res.TotalAppended
 				agg.TotalPurged += r.res.TotalPurged
 				agg.OutputBytes += r.res.OutputBytes
+				agg.BytesSkipped += r.res.BytesSkipped
+				agg.TagsSkipped += r.res.TagsSkipped
+				agg.SubtreesSkipped += r.res.SubtreesSkipped
 				agg.Chunks++
 			}
 		}

@@ -121,7 +121,11 @@ func TestStatsAggregation(t *testing.T) {
 	}
 	plan, info := compileShardable(t, xmark.Queries["Q1"].Text)
 	var seq strings.Builder
-	sres, err := core.Execute(plan, strings.NewReader(doc), &seq, core.ExecOptions{})
+	// Reference run with subtree skipping off, so its token count
+	// covers the full document (the skipping engine fast-forwards
+	// irrelevant sections and counts fewer tokens than the splitter
+	// leaves in the chunks).
+	sres, err := core.Execute(plan, strings.NewReader(doc), &seq, core.ExecOptions{DisableSkip: true})
 	if err != nil {
 		t.Fatal(err)
 	}

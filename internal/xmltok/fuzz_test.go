@@ -92,6 +92,141 @@ func fuzzRecordTokens(t *testing.T, doc string, path []SplitStep) []Token {
 	return recordTokens(t, strings.NewReader(doc), path)
 }
 
+// FuzzSkipSubtree: for every document the Tokenizer accepts, calling
+// SkipSubtree at an arbitrary StartElement must land on exactly the
+// position full tokenization reaches after the matching EndElement —
+// the remainder of the token stream is identical — and must never
+// reject the document. On documents the Tokenizer rejects, SkipSubtree
+// is allowed to accept a superset (it validates nesting but not
+// attribute internals or entities), but must never panic or run away.
+// Seeded with the CDATA/comment/PI terminator corpus of FuzzSplitter,
+// whose KMP-matched patterns ("]]]>", "--->") are the historically
+// tricky cases.
+func FuzzSkipSubtree(f *testing.F) {
+	seeds := []string{
+		`<a><b/></a>`,
+		`<a><b>x</b><c/><b k="v">y</b></a>`,
+		`<a><x><b>deep</b></x><b><b>nested名</b></b></a>`,
+		`<a><!-- c --><b><![CDATA[<>]]></b></a>`,
+		`<a><b attr="quoted > gt"/></a>`,
+		`<a><b><![CDATA[]]]]><![CDATA[>]]></b></a>`,
+		`<a><!-- x ---><b/></a>`,
+		`<a><?pi data?><b/></a>`,
+		`<a><b></c></a>`,
+		`<a>`,
+	}
+	for _, s := range seeds {
+		f.Add(s, uint8(0))
+		f.Add(s, uint8(1))
+	}
+	f.Fuzz(func(t *testing.T, doc string, skipAt uint8) {
+		// Reference: full tokenization (engine dialect, whitespace
+		// dropped, exactly as the preprojector consumes it).
+		ref := NewTokenizer(strings.NewReader(doc))
+		var full []Token
+		accepted := true
+		for {
+			tok, err := ref.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				accepted = false
+				break
+			}
+			full = append(full, tok)
+			if len(full) > len(doc)+16 {
+				t.Fatal("runaway reference tokenizer")
+			}
+		}
+		ref.Release()
+
+		starts := 0
+		for _, tok := range full {
+			if tok.Kind == StartElement {
+				starts++
+			}
+		}
+		if accepted && starts == 0 {
+			return // nothing to skip
+		}
+		at := 0
+		if starts > 0 {
+			at = int(skipAt) % starts
+		}
+
+		// Expected remainder: full stream minus the skipped subtree.
+		var want []Token
+		if accepted {
+			n, depth, skipping := 0, 0, false
+			for _, tok := range full {
+				if skipping {
+					switch tok.Kind {
+					case StartElement:
+						depth++
+					case EndElement:
+						depth--
+						if depth == 0 {
+							skipping = false
+						}
+					}
+					continue
+				}
+				want = append(want, tok)
+				if tok.Kind == StartElement {
+					if n == at {
+						skipping, depth = true, 1
+					}
+					n++
+				}
+			}
+		}
+
+		tz := NewTokenizer(strings.NewReader(doc))
+		defer tz.Release()
+		var got []Token
+		n := 0
+		for {
+			tok, err := tz.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if accepted {
+					t.Fatalf("skipping run rejected an accepted document: %v\ninput: %q skip@%d", err, doc, at)
+				}
+				return // both reject (or the raw scan accepts a superset — fine either way)
+			}
+			got = append(got, tok)
+			if len(got) > len(doc)+16 {
+				t.Fatal("runaway skipping tokenizer")
+			}
+			if tok.Kind == StartElement {
+				if n == at {
+					if err := tz.SkipSubtree(); err != nil {
+						if accepted {
+							t.Fatalf("SkipSubtree failed on an accepted document: %v\ninput: %q skip@%d", err, doc, at)
+						}
+						return
+					}
+				}
+				n++
+			}
+		}
+		if !accepted {
+			return // superset acceptance carries no stream obligations
+		}
+		if len(got) != len(want) {
+			t.Fatalf("token counts differ: got %d want %d\ninput: %q skip@%d\ngot:  %+v\nwant: %+v", len(got), len(want), doc, at, got, want)
+		}
+		for i := range want {
+			if !sameToken(got[i], want[i]) {
+				t.Fatalf("token %d: got %+v want %+v\ninput: %q skip@%d", i, got[i], want[i], doc, at)
+			}
+		}
+	})
+}
+
 func FuzzTokenizer(f *testing.F) {
 	seeds := []string{
 		`<a/>`,

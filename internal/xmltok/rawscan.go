@@ -1,0 +1,204 @@
+package xmltok
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// rawScanner is the shared low-level XML byte scanner behind the
+// Splitter and Tokenizer.SkipSubtree. It understands just enough XML to
+// advance correctly — tag bodies with attribute quoting, comment /
+// CDATA / PI / declaration terminators (KMP-matched, so
+// repeated-prefix terminators like "]]]>" work), element names — but
+// materializes no tokens, resolves no entities, interns no names and
+// decodes no text. That is what makes a raw scan ~4× faster than full
+// tokenization over the same bytes (DESIGN.md §6, §7).
+//
+// It deliberately accepts a superset of the Tokenizer's dialect
+// (attribute internals and entity references are not validated); users
+// rely on one-sided parity only: the raw scan never rejects input the
+// Tokenizer accepts, and on accepted input both advance over exactly
+// the same bytes. FuzzSplitter and FuzzSkipSubtree pin this.
+type rawScanner struct {
+	r   *bufio.Reader
+	off int64  // byte offset for error reporting
+	tag []byte // scratch for tag bodies spanning buffer boundaries
+
+	// ioErr records a non-EOF read error from the underlying reader, so
+	// errf reports it as itself rather than masking an infrastructure
+	// failure as a syntax error (mirrors Tokenizer.ioErr).
+	ioErr error
+}
+
+func (rs *rawScanner) readByte() (byte, error) {
+	b, err := rs.r.ReadByte()
+	if err == nil {
+		rs.off++
+	} else if err != io.EOF && rs.ioErr == nil {
+		rs.ioErr = err
+	}
+	return b, err
+}
+
+func (rs *rawScanner) unread() {
+	_ = rs.r.UnreadByte()
+	rs.off--
+}
+
+// throughPattern consumes input through the first occurrence of pat,
+// appending opening plus the consumed bytes to *capture when capture is
+// non-nil.
+func (rs *rawScanner) throughPattern(pat, opening string, capture *[]byte) error {
+	if capture != nil {
+		*capture = append(*capture, opening...)
+	}
+	matched := 0
+	for matched < len(pat) {
+		b, err := rs.readByte()
+		if err != nil {
+			return rs.errf("unexpected end of input looking for %q", pat)
+		}
+		if capture != nil {
+			*capture = append(*capture, b)
+		}
+		matched = patAdvance(pat, matched, b)
+	}
+	return nil
+}
+
+// bang handles "<!..." constructs after "<!" has been consumed,
+// mirroring the Tokenizer: comments, CDATA sections, DOCTYPE-style
+// declarations. Consumed bytes (with their markup openings) are
+// appended to *capture when non-nil.
+func (rs *rawScanner) bang(capture *[]byte) error {
+	b, err := rs.readByte()
+	if err != nil {
+		return rs.errf("unexpected end of input after '<!'")
+	}
+	switch b {
+	case '-':
+		b2, err := rs.readByte()
+		if err != nil || b2 != '-' {
+			return rs.errf("malformed comment")
+		}
+		return rs.throughPattern("-->", "<!--", capture)
+	case '[':
+		const open = "CDATA["
+		for i := 0; i < len(open); i++ {
+			b2, err := rs.readByte()
+			if err != nil || b2 != open[i] {
+				return rs.errf("malformed CDATA section")
+			}
+		}
+		return rs.throughPattern("]]>", "<![CDATA[", capture)
+	default:
+		rs.unread()
+		return rs.throughPattern(">", "<!", capture)
+	}
+}
+
+// readTagBody returns the bytes between '<' (already consumed, along
+// with any '/' marker handled by the caller) and the matching unquoted
+// '>', excluding the terminator. In the common case — the whole tag is
+// buffered and carries no quoted '>' — the returned slice aliases the
+// reader's buffer and is valid only until the next read; tags spanning
+// buffer boundaries fall back to the rs.tag scratch.
+func (rs *rawScanner) readTagBody() ([]byte, error) {
+	var quote byte
+	first := true
+	for {
+		data, err := rs.r.ReadSlice('>')
+		rs.off += int64(len(data))
+		switch err {
+		case nil:
+			body := data[:len(data)-1]
+			quote = scanQuotes(quote, body)
+			if quote == 0 {
+				if first {
+					return body, nil
+				}
+				rs.tag = append(rs.tag, body...)
+				return rs.tag, nil
+			}
+			// the '>' was inside an attribute value: keep it, continue
+			if first {
+				rs.tag, first = rs.tag[:0], false
+			}
+			rs.tag = append(rs.tag, body...)
+			rs.tag = append(rs.tag, '>')
+		case bufio.ErrBufferFull:
+			quote = scanQuotes(quote, data)
+			if first {
+				rs.tag, first = rs.tag[:0], false
+			}
+			rs.tag = append(rs.tag, data...)
+		default:
+			if err != io.EOF && rs.ioErr == nil {
+				rs.ioErr = err
+			}
+			return nil, rs.errf("unexpected end of input in tag")
+		}
+	}
+}
+
+// scanQuotes advances the attribute-quoting state across b. Short
+// bodies (nearly every tag) use a plain loop; long ones amortize the
+// vectorized IndexByte.
+func scanQuotes(quote byte, b []byte) byte {
+	if len(b) <= 64 {
+		for _, c := range b {
+			switch {
+			case quote == 0 && (c == '"' || c == '\''):
+				quote = c
+			case c == quote:
+				quote = 0
+			}
+		}
+		return quote
+	}
+	for len(b) > 0 {
+		if quote == 0 {
+			i := bytes.IndexByte(b, '"')
+			j := bytes.IndexByte(b, '\'')
+			if i < 0 {
+				i = j
+			} else if j >= 0 && j < i {
+				i = j
+			}
+			if i < 0 {
+				return 0
+			}
+			quote = b[i]
+			b = b[i+1:]
+		} else {
+			i := bytes.IndexByte(b, quote)
+			if i < 0 {
+				return quote
+			}
+			quote = 0
+			b = b[i+1:]
+		}
+	}
+	return quote
+}
+
+// tagName parses the leading element name of a tag body.
+func (rs *rawScanner) tagName(body []byte) ([]byte, error) {
+	i := 0
+	for i < len(body) && isNameByte(body[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return nil, rs.errf("expected name")
+	}
+	return body[:i], nil
+}
+
+func (rs *rawScanner) errf(format string, args ...any) error {
+	if rs.ioErr != nil {
+		return fmt.Errorf("xmltok: read error at byte %d: %w", rs.off, rs.ioErr)
+	}
+	return &SyntaxError{Offset: rs.off, Msg: fmt.Sprintf(format, args...)}
+}

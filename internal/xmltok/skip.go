@@ -1,0 +1,219 @@
+package xmltok
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// SkipSubtree fast-forwards the input past the remainder of the
+// innermost open element — the StartElement most recently returned by
+// Next — landing exactly where full tokenization would land after
+// consuming that element's matching EndElement. The subtree's bytes
+// are raw-scanned (shared rawScanner machinery, DESIGN.md §7): no
+// Token structs are built, no text is decoded, no entity references
+// are resolved, no names are interned and no whitespace handling runs.
+// Element nesting inside the skipped region is still tracked, so tag
+// imbalance and truncated input are reported as SyntaxErrors just as
+// full tokenization would report them; attribute internals and entity
+// references inside the region are NOT validated (the raw scan accepts
+// a superset of the tokenizer dialect — FuzzSkipSubtree pins the
+// one-sided parity).
+//
+// The caller contract is strict: SkipSubtree must be invoked
+// immediately after Next returned a StartElement, with no intervening
+// Peek. The skipped element's EndElement is consumed silently — it is
+// never delivered — and skipped content does not count into
+// TokenCount. BytesSkipped, TagsSkipped and SubtreesSkipped report
+// what was fast-forwarded.
+func (t *Tokenizer) SkipSubtree() error {
+	if t.peeked != nil {
+		return t.errf("SkipSubtree after Peek")
+	}
+	if len(t.stack) == 0 {
+		return t.errf("SkipSubtree with no open element")
+	}
+	t.subtreesSkipped++
+	t.depth--
+	if t.pending != nil {
+		// The open element was self-closing: its subtree is empty and
+		// its synthesized EndElement is the pending token. Consume it
+		// in place, mirroring read()'s pending branch.
+		t.tagsSkipped++ // the undelivered EndElement
+		t.pending = nil
+		t.stack = t.stack[:len(t.stack)-1]
+		if len(t.stack) == 0 {
+			t.started = true
+		}
+		return nil
+	}
+
+	rs := rawScanner{r: t.r, off: t.off, tag: t.skipTag[:0]}
+	startOff := t.off
+	// Nesting accounting for the skipped region: names of elements
+	// opened inside the subtree, stored back to back (no allocations,
+	// no interning). The skipped element itself sits below them on
+	// t.stack.
+	nameBuf := t.skipNameBuf[:0]
+	nameLen := t.skipNameLen[:0]
+	err := t.skipScan(&rs, &nameBuf, &nameLen)
+	// Hand scratch growth back to the tokenizer so repeated skips
+	// amortize.
+	t.skipTag = rs.tag[:0]
+	t.skipNameBuf = nameBuf[:0]
+	t.skipNameLen = nameLen[:0]
+	t.off = rs.off
+	if rs.ioErr != nil && t.ioErr == nil {
+		t.ioErr = rs.ioErr
+	}
+	t.bytesSkipped += rs.off - startOff
+	if err != nil {
+		return err
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	if len(t.stack) == 0 {
+		t.started = true
+	}
+	return nil
+}
+
+// skipScan is the raw-scan loop of SkipSubtree: consume markup and
+// character data until the end tag matching the innermost open element
+// has been consumed.
+func (t *Tokenizer) skipScan(rs *rawScanner, nameBuf *[]byte, nameLen *[]int) error {
+	for {
+		if t.ctxDone != nil {
+			select {
+			case <-t.ctxDone:
+				return t.ctx.Err()
+			default:
+			}
+		}
+		// Character data up to the next '<' is skipped wholesale.
+	text:
+		for {
+			data, err := rs.r.ReadSlice('<')
+			rs.off += int64(len(data))
+			switch err {
+			case nil:
+				break text
+			case bufio.ErrBufferFull:
+				// keep draining
+			case io.EOF:
+				return rs.errf("unexpected end of input inside <%s>", t.skipInnermost(*nameBuf, *nameLen))
+			default:
+				return fmt.Errorf("xmltok: read error at byte %d: %w", rs.off, err)
+			}
+		}
+		b, err := rs.readByte()
+		if err != nil {
+			return rs.errf("unexpected end of input in markup")
+		}
+		switch b {
+		case '?':
+			if err := rs.throughPattern("?>", "", nil); err != nil {
+				return err
+			}
+		case '!':
+			if err := rs.bang(nil); err != nil {
+				return err
+			}
+		case '/':
+			done, err := t.skipEndTag(rs, nameBuf, nameLen)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+		default:
+			rs.unread()
+			if err := t.skipStartTag(rs, nameBuf, nameLen); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// skipEndTag consumes one end tag inside the skipped region. It returns
+// done=true when the tag closes the skipped element itself.
+func (t *Tokenizer) skipEndTag(rs *rawScanner, nameBuf *[]byte, nameLen *[]int) (bool, error) {
+	body, err := rs.readTagBody()
+	if err != nil {
+		return false, err
+	}
+	name, err := rs.tagName(body)
+	if err != nil {
+		return false, err
+	}
+	if len(name) != len(body) && !allWhitespace(body[len(name):]) {
+		return false, rs.errf("malformed end tag </%s", name)
+	}
+	t.tagsSkipped++
+	if n := len(*nameLen); n > 0 {
+		// closes an element opened inside the skip
+		ln := (*nameLen)[n-1]
+		top := (*nameBuf)[len(*nameBuf)-ln:]
+		if string(top) != string(name) {
+			return false, rs.errf("mismatched </%s>, expected </%s>", name, top)
+		}
+		*nameBuf = (*nameBuf)[:len(*nameBuf)-ln]
+		*nameLen = (*nameLen)[:n-1]
+		return false, nil
+	}
+	// closes the skipped element: must match the tokenizer stack top
+	top := t.stack[len(t.stack)-1]
+	if top != string(name) {
+		return false, rs.errf("mismatched </%s>, expected </%s>", name, top)
+	}
+	return true, nil
+}
+
+// skipStartTag consumes one start tag inside the skipped region.
+func (t *Tokenizer) skipStartTag(rs *rawScanner, nameBuf *[]byte, nameLen *[]int) error {
+	body, err := rs.readTagBody()
+	if err != nil {
+		return err
+	}
+	selfClose := len(body) > 0 && body[len(body)-1] == '/'
+	nameSrc := body
+	if selfClose {
+		nameSrc = body[:len(body)-1]
+	}
+	name, err := rs.tagName(nameSrc)
+	if err != nil {
+		return err
+	}
+	if selfClose {
+		t.tagsSkipped += 2 // StartElement + synthesized EndElement
+		return nil
+	}
+	t.tagsSkipped++
+	*nameBuf = append(*nameBuf, name...)
+	*nameLen = append(*nameLen, len(name))
+	return nil
+}
+
+// skipInnermost names the innermost open element for error messages:
+// the deepest element opened inside the skip, or the skipped element
+// itself.
+func (t *Tokenizer) skipInnermost(nameBuf []byte, nameLen []int) string {
+	if n := len(nameLen); n > 0 {
+		return string(nameBuf[len(nameBuf)-nameLen[n-1]:])
+	}
+	return t.stack[len(t.stack)-1]
+}
+
+// BytesSkipped reports how many input bytes SkipSubtree fast-forwarded
+// past without tokenization.
+func (t *Tokenizer) BytesSkipped() int64 { return t.bytesSkipped }
+
+// TagsSkipped reports how many element tokens (start and end tags,
+// self-closing tags counting as two) were inside skipped subtrees — a
+// lower bound on the tokens saved, since skipped text runs are not
+// counted.
+func (t *Tokenizer) TagsSkipped() int64 { return t.tagsSkipped }
+
+// SubtreesSkipped reports how many SkipSubtree calls completed or
+// started (including empty self-closing subtrees).
+func (t *Tokenizer) SubtreesSkipped() int64 { return t.subtreesSkipped }

@@ -2,7 +2,6 @@ package xmltok
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -11,13 +10,13 @@ import (
 // Splitter cuts an XML byte stream into self-contained chunks at the
 // record boundaries of a fixed child-axis element path (the partition
 // path of sharded execution, DESIGN.md §6). It scans the input exactly
-// once at the byte level — tracking element nesting and quoting, but
-// never materializing tokens — and copies the raw bytes of every
-// record subtree into the current chunk. A chunk is a well-formed
-// mini-document: the records verbatim, re-wrapped with synthesized
-// open/close tags for the ancestor chain of the partition path, so a
-// downstream Tokenizer sees the same element structure (and the same
-// record tokens, byte for byte) as in the original document.
+// once at the byte level — tracking element nesting and quoting via the
+// shared rawScanner, but never materializing tokens — and copies the
+// raw bytes of every record subtree into the current chunk. A chunk is
+// a well-formed mini-document: the records verbatim, re-wrapped with
+// synthesized open/close tags for the ancestor chain of the partition
+// path, so a downstream Tokenizer sees the same element structure (and
+// the same record tokens, byte for byte) as in the original document.
 //
 // Chunks are sealed when they reach the byte target, when an ancestor
 // of the records closes (records under different ancestors never share
@@ -26,12 +25,10 @@ import (
 // between records, unrelated sibling subtrees — is skipped; the
 // shardability analysis guarantees the query cannot observe it.
 type Splitter struct {
-	r      *bufio.Reader
+	rawScanner
 	path   []SplitStep
 	ctx    context.Context
 	target int
-
-	off int64 // byte offset for error reporting
 
 	// Open-element stack, names stored back to back to avoid per-tag
 	// allocations.
@@ -55,8 +52,6 @@ type Splitter struct {
 
 	rootSeen bool
 	done     bool
-
-	tag []byte // scratch for one tag's bytes
 }
 
 // SplitStep is one child-axis element test of a partition path.
@@ -93,9 +88,9 @@ func NewSplitter(r io.Reader, path []SplitStep) *Splitter {
 		panic("xmltok: NewSplitter requires a non-empty partition path")
 	}
 	return &Splitter{
-		r:      bufio.NewReaderSize(r, 64<<10),
-		path:   path,
-		target: DefaultChunkTarget,
+		rawScanner: rawScanner{r: bufio.NewReaderSize(r, 64<<10)},
+		path:       path,
+		target:     DefaultChunkTarget,
 	}
 }
 
@@ -224,172 +219,30 @@ func resolvesToWhitespace(b []byte) bool {
 
 // markup dispatches on the construct following '<'.
 func (s *Splitter) markup() error {
-	b, err := s.r.ReadByte()
+	b, err := s.readByte()
 	if err != nil {
 		return s.errf("unexpected end of input in markup")
 	}
-	s.off++
 	switch b {
 	case '?':
-		return s.throughPattern("?>", "<?")
+		return s.throughPattern("?>", "<?", s.capture())
 	case '!':
-		return s.bang()
+		return s.bang(s.capture())
 	case '/':
 		return s.endTag()
 	default:
-		_ = s.r.UnreadByte()
-		s.off--
+		s.unread()
 		return s.startTag()
 	}
 }
 
-// bang handles "<!..." constructs, mirroring the Tokenizer: comments,
-// CDATA sections, DOCTYPE-style declarations.
-func (s *Splitter) bang() error {
-	b, err := s.r.ReadByte()
-	if err != nil {
-		return s.errf("unexpected end of input after '<!'")
-	}
-	s.off++
-	switch b {
-	case '-':
-		b2, err := s.r.ReadByte()
-		if err != nil || b2 != '-' {
-			return s.errf("malformed comment")
-		}
-		s.off++
-		return s.throughPattern("-->", "<!--")
-	case '[':
-		const open = "CDATA["
-		for i := 0; i < len(open); i++ {
-			b2, err := s.r.ReadByte()
-			if err != nil || b2 != open[i] {
-				return s.errf("malformed CDATA section")
-			}
-			s.off++
-		}
-		return s.throughPattern("]]>", "<![CDATA[")
-	default:
-		_ = s.r.UnreadByte()
-		s.off--
-		return s.throughPattern(">", "<!")
-	}
-}
-
-// throughPattern consumes input through the first occurrence of pat,
-// copying opening plus the consumed bytes into the chunk while inside a
-// record.
-func (s *Splitter) throughPattern(pat, opening string) error {
+// capture returns the chunk buffer as the raw scanner's copy target
+// while inside a record, nil between records.
+func (s *Splitter) capture() *[]byte {
 	if s.capturing {
-		s.buf = append(s.buf, opening...)
-	}
-	matched := 0
-	for matched < len(pat) {
-		b, err := s.r.ReadByte()
-		if err != nil {
-			return s.errf("unexpected end of input looking for %q", pat)
-		}
-		s.off++
-		if s.capturing {
-			s.buf = append(s.buf, b)
-		}
-		matched = patAdvance(pat, matched, b)
+		return &s.buf
 	}
 	return nil
-}
-
-// readTagBody returns the bytes between '<' (already consumed, along
-// with any '/' marker handled by the caller) and the matching unquoted
-// '>', excluding the terminator. In the common case — the whole tag is
-// buffered and carries no quoted '>' — the returned slice aliases the
-// reader's buffer and is valid only until the next read; tags spanning
-// buffer boundaries fall back to the s.tag scratch.
-func (s *Splitter) readTagBody() ([]byte, error) {
-	var quote byte
-	first := true
-	for {
-		data, err := s.r.ReadSlice('>')
-		s.off += int64(len(data))
-		switch err {
-		case nil:
-			body := data[:len(data)-1]
-			quote = scanQuotes(quote, body)
-			if quote == 0 {
-				if first {
-					return body, nil
-				}
-				s.tag = append(s.tag, body...)
-				return s.tag, nil
-			}
-			// the '>' was inside an attribute value: keep it, continue
-			if first {
-				s.tag, first = s.tag[:0], false
-			}
-			s.tag = append(s.tag, body...)
-			s.tag = append(s.tag, '>')
-		case bufio.ErrBufferFull:
-			quote = scanQuotes(quote, data)
-			if first {
-				s.tag, first = s.tag[:0], false
-			}
-			s.tag = append(s.tag, data...)
-		default:
-			return nil, s.errf("unexpected end of input in tag")
-		}
-	}
-}
-
-// scanQuotes advances the attribute-quoting state across b. Short
-// bodies (nearly every tag) use a plain loop; long ones amortize the
-// vectorized IndexByte.
-func scanQuotes(quote byte, b []byte) byte {
-	if len(b) <= 64 {
-		for _, c := range b {
-			switch {
-			case quote == 0 && (c == '"' || c == '\''):
-				quote = c
-			case c == quote:
-				quote = 0
-			}
-		}
-		return quote
-	}
-	for len(b) > 0 {
-		if quote == 0 {
-			i := bytes.IndexByte(b, '"')
-			j := bytes.IndexByte(b, '\'')
-			if i < 0 {
-				i = j
-			} else if j >= 0 && j < i {
-				i = j
-			}
-			if i < 0 {
-				return 0
-			}
-			quote = b[i]
-			b = b[i+1:]
-		} else {
-			i := bytes.IndexByte(b, quote)
-			if i < 0 {
-				return quote
-			}
-			quote = 0
-			b = b[i+1:]
-		}
-	}
-	return quote
-}
-
-// tagName parses the leading element name of a tag body.
-func (s *Splitter) tagName(body []byte) ([]byte, error) {
-	i := 0
-	for i < len(body) && isNameByte(body[i], i == 0) {
-		i++
-	}
-	if i == 0 {
-		return nil, s.errf("expected name")
-	}
-	return body[:i], nil
 }
 
 func (s *Splitter) endTag() error {
@@ -555,8 +408,4 @@ func (s *Splitter) pop() {
 	n := s.nameLen[len(s.nameLen)-1]
 	s.nameBuf = s.nameBuf[:len(s.nameBuf)-n]
 	s.nameLen = s.nameLen[:len(s.nameLen)-1]
-}
-
-func (s *Splitter) errf(format string, args ...any) error {
-	return &SyntaxError{Offset: s.off, Msg: fmt.Sprintf(format, args...)}
 }

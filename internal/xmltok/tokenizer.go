@@ -5,8 +5,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 	"sync"
 )
 
@@ -55,6 +53,14 @@ type Tokenizer struct {
 	released bool
 
 	textBuf []byte
+
+	// SkipSubtree counters and scratch (skip.go).
+	bytesSkipped    int64
+	tagsSkipped     int64
+	subtreesSkipped int64
+	skipTag         []byte
+	skipNameBuf     []byte
+	skipNameLen     []int
 }
 
 // tokenizerPool recycles Tokenizers — each carries a 64 KiB bufio
@@ -102,6 +108,9 @@ func NewTokenizer(r io.Reader) *Tokenizer {
 	t.done = false
 	t.released = false
 	t.textBuf = t.textBuf[:0]
+	t.bytesSkipped = 0
+	t.tagsSkipped = 0
+	t.subtreesSkipped = 0
 	return t
 }
 
@@ -388,6 +397,11 @@ func (t *Tokenizer) readAttr(elem string) (Attr, error) {
 	return Attr{Name: name, Value: string(t.textBuf)}, nil
 }
 
+// isWSByte reports whether b is literal XML whitespace.
+func isWSByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
 // readText accumulates character data starting with first, up to (not
 // including) the next '<'. keep is false when the text is whitespace-only
 // and KeepWhitespace is unset, or when it occurs outside the document
@@ -395,24 +409,46 @@ func (t *Tokenizer) readAttr(elem string) (Attr, error) {
 func (t *Tokenizer) readText(first byte) (Token, bool, error) {
 	t.textBuf = t.textBuf[:0]
 	ws := true
-	appendByte := func(b byte) {
-		if ws && b != ' ' && b != '\t' && b != '\n' && b != '\r' {
-			ws = false
+	cur := first
+	// Fast path: a leading run of literal whitespace — the dominant
+	// text shape in indented documents. A tight byte loop with no
+	// entity machinery; when the run ends at markup or EOF the text is
+	// all-whitespace and (with KeepWhitespace unset) is dropped before
+	// any decoding or token construction.
+	for isWSByte(cur) {
+		t.textBuf = append(t.textBuf, cur)
+		b, err := t.readByte()
+		if err == io.EOF {
+			return t.textToken(true)
 		}
-		t.textBuf = append(t.textBuf, b)
-	}
-	if first == '&' {
-		r, err := t.readEntity()
 		if err != nil {
 			return Token{}, false, err
 		}
-		for i := 0; i < len(r); i++ {
-			appendByte(r[i])
+		if b == '<' {
+			t.unread()
+			return t.textToken(true)
 		}
-	} else {
-		appendByte(first)
+		cur = b
 	}
+	// General path: mixed content and entity references.
 	for {
+		if cur == '&' {
+			r, err := t.readEntity()
+			if err != nil {
+				return Token{}, false, err
+			}
+			for i := 0; i < len(r); i++ {
+				if ws && !isWSByte(r[i]) {
+					ws = false
+				}
+				t.textBuf = append(t.textBuf, r[i])
+			}
+		} else {
+			if ws && !isWSByte(cur) {
+				ws = false
+			}
+			t.textBuf = append(t.textBuf, cur)
+		}
 		b, err := t.readByte()
 		if err == io.EOF {
 			break
@@ -424,18 +460,15 @@ func (t *Tokenizer) readText(first byte) (Token, bool, error) {
 			t.unread()
 			break
 		}
-		if b == '&' {
-			r, err := t.readEntity()
-			if err != nil {
-				return Token{}, false, err
-			}
-			for i := 0; i < len(r); i++ {
-				appendByte(r[i])
-			}
-			continue
-		}
-		appendByte(b)
+		cur = b
 	}
+	return t.textToken(ws)
+}
+
+// textToken finalizes accumulated character data: whitespace-only text
+// is dropped (unless KeepWhitespace), text outside the document element
+// is rejected, everything else becomes a Text token.
+func (t *Tokenizer) textToken(ws bool) (Token, bool, error) {
 	if len(t.stack) == 0 {
 		if ws {
 			return Token{}, false, nil
@@ -449,8 +482,12 @@ func (t *Tokenizer) readText(first byte) (Token, bool, error) {
 }
 
 // readEntity resolves an entity reference after '&' has been consumed.
+// The reference name is collected into a fixed scratch and resolved
+// without intermediate allocations (built-ins and character references
+// in the ASCII range are the overwhelmingly common cases).
 func (t *Tokenizer) readEntity() (string, error) {
-	var name strings.Builder
+	var name [13]byte
+	n := 0
 	for {
 		b, err := t.readByte()
 		if err != nil {
@@ -459,15 +496,19 @@ func (t *Tokenizer) readEntity() (string, error) {
 		if b == ';' {
 			break
 		}
-		name.WriteByte(b)
-		if name.Len() > 12 {
+		if n >= 12 {
 			return "", t.errf("entity reference too long")
 		}
+		name[n] = b
+		n++
 	}
-	s := name.String()
-	r, ok := resolveEntity(s)
+	r, ok := resolveEntityBytes(name[:n])
 	if !ok {
-		if strings.HasPrefix(s, "#") {
+		// Copy the name out of the scratch for the error message; the
+		// conversion keeps the array itself off the heap on the hot
+		// (error-free) path.
+		s := string(name[:n])
+		if n > 0 && name[0] == '#' {
 			return "", t.errf("malformed character reference &%s;", s)
 		}
 		return "", t.errf("unknown entity &%s;", s)
@@ -479,7 +520,14 @@ func (t *Tokenizer) readEntity() (string, error) {
 // five XML built-ins or a numeric character reference. Shared with the
 // Splitter so both agree on what resolves (FuzzSplitter parity).
 func resolveEntity(s string) (string, bool) {
-	switch s {
+	return resolveEntityBytes([]byte(s))
+}
+
+// resolveEntityBytes is resolveEntity over a byte scratch. The switch
+// comparison and the manual digit parse do not allocate, so resolving
+// a built-in entity costs no heap traffic at all.
+func resolveEntityBytes(s []byte) (string, bool) {
+	switch string(s) { // compiled to comparisons; no allocation
 	case "lt":
 		return "<", true
 	case "gt":
@@ -491,13 +539,38 @@ func resolveEntity(s string) (string, bool) {
 	case "quot":
 		return `"`, true
 	}
-	if strings.HasPrefix(s, "#") {
-		base, digits := 10, s[1:]
-		if strings.HasPrefix(digits, "x") || strings.HasPrefix(digits, "X") {
+	if len(s) > 1 && s[0] == '#' {
+		digits := s[1:]
+		base := uint64(10)
+		if digits[0] == 'x' || digits[0] == 'X' {
 			base, digits = 16, digits[1:]
 		}
-		n, err := strconv.ParseUint(digits, base, 32)
-		if err != nil {
+		if len(digits) == 0 {
+			return "", false
+		}
+		// Manual parse, matching strconv.ParseUint(digits, base, 32):
+		// no sign, no underscores, no 0x prefix, range-checked at 32
+		// bits. The name length cap (12 bytes) rules out uint64
+		// overflow before the range check fires.
+		var n uint64
+		for _, c := range digits {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return "", false
+			}
+			if d >= base {
+				return "", false
+			}
+			n = n*base + d
+		}
+		if n > 1<<32-1 {
 			return "", false
 		}
 		return string(rune(n)), true

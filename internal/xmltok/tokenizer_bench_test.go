@@ -1,0 +1,123 @@
+package xmltok
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// BenchmarkTokenizerWhitespace regression-benches the whitespace fast
+// path of readText: heavily indented documents (the usual
+// pretty-printed shape) spend a large share of their text tokens on
+// whitespace-only runs that are dropped when KeepWhitespace is unset —
+// those must never reach the entity machinery or allocate.
+func BenchmarkTokenizerWhitespace(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<root>\n")
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("  <entry>\n    <key>name</key>\n    <value>v&amp;v</value>\n  </entry>\n")
+	}
+	sb.WriteString("</root>\n")
+	doc := sb.String()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tz := NewTokenizer(strings.NewReader(doc))
+		for {
+			_, err := tz.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		tz.Release()
+	}
+}
+
+// BenchmarkTokenizerWhitespaceEntities targets the worst historical
+// case: whitespace-only text written as character references (&#32;
+// &#10;), which used to be fully decoded through the allocating entity
+// path before being dropped.
+func BenchmarkTokenizerWhitespaceEntities(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("&#32;&#9;&#10;<e/>")
+	}
+	sb.WriteString("</root>")
+	doc := sb.String()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tz := NewTokenizer(strings.NewReader(doc))
+		for {
+			_, err := tz.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		tz.Release()
+	}
+}
+
+// BenchmarkSkipSubtree measures the raw fast-forward against full
+// tokenization of the same subtree — the per-byte cost ratio that
+// makes projection-guided skipping worthwhile (DESIGN.md §7).
+func BenchmarkSkipSubtree(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<root><keep/>")
+	sb.WriteString("<dead>")
+	for i := 0; i < 4000; i++ {
+		sb.WriteString(`<item id="i"><name>gold silver</name><description><text>a longer run of text that looks like xmark prose, with several words</text></description></item>`)
+	}
+	sb.WriteString("</dead></root>")
+	doc := sb.String()
+	b.SetBytes(int64(len(doc)))
+
+	b.Run("skip", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tz := NewTokenizer(strings.NewReader(doc))
+			for {
+				tok, err := tz.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tok.Kind == StartElement && tok.Name == "dead" {
+					if err := tz.SkipSubtree(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			tz.Release()
+		}
+	})
+	b.Run("tokenize", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tz := NewTokenizer(strings.NewReader(doc))
+			for {
+				_, err := tz.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			tz.Release()
+		}
+	})
+}
