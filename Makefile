@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench benchstat fuzz-smoke
+.PHONY: all build test race check bench bench-json benchstat fuzz-smoke
 
 all: build
 
@@ -23,10 +23,17 @@ check: build race
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
 
 # bench regenerates the committed BENCH_gcx.json perf baseline (also
-# wired as `go generate ./...`). Keep the matrix small enough for CI;
-# widen locally with e.g. `go run ./cmd/gcxbench -sizes 1,5 -reps 5`.
+# wired as `go generate ./...`): the XML cells plus the NDJSON cells
+# (gcxbench runs J1,J2,J3 by default). Keep the matrix small enough for
+# CI; widen locally with e.g. `go run ./cmd/gcxbench -sizes 1,5 -reps 5`.
 bench:
 	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q13 -engines gcx -reps 3 -json BENCH_gcx.json
+
+# bench-json measures only the NDJSON cells (DESIGN.md §8) — a quick
+# look at the JSON front end's throughput without the XML matrix. The
+# output file is informational, not the committed baseline.
+bench-json:
+	$(GO) run ./cmd/gcxbench -sizes 1 -queries "" -ndjson-queries J1,J2,J3 -engines gcx -reps 3 -json BENCH_gcx.ndjson.json
 
 # benchstat compares a fresh run against the committed baseline
 # (requires golang.org/x/perf's benchstat on PATH or via `go run`).
@@ -41,4 +48,6 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzTokenizer -fuzztime 10s ./internal/xmltok
 	$(GO) test -run xxx -fuzz FuzzSplitter -fuzztime 10s ./internal/xmltok
 	$(GO) test -run xxx -fuzz FuzzSkipSubtree -fuzztime 10s ./internal/xmltok
+	$(GO) test -run xxx -fuzz FuzzJSONTokenizer -fuzztime 10s ./internal/jsontok
+	$(GO) test -run xxx -fuzz FuzzJSONSkipSubtree -fuzztime 10s ./internal/jsontok
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/xqparse

@@ -1,4 +1,6 @@
-// Command gcx runs an XQuery over an XML document or stream.
+// Command gcx runs an XQuery over an XML or JSON/NDJSON document or
+// stream (DESIGN.md §8: JSON objects map to elements, arrays to
+// repeated siblings, under a virtual /root/record document shape).
 //
 // Examples:
 //
@@ -7,6 +9,8 @@
 //	gcx -f query.xq -explain            # roles + rewritten query
 //	gcx -f join.xq -i doc.xml -engine dom   # full-buffering baseline
 //	gcx -f query.xq -i big.xml -shards 8    # sharded data-parallel run
+//	gcx -q 'for $r in /root/record return $r/name' -i events.ndjson
+//	gcx -f query.xq -format ndjson -shards 8 < events.ndjson
 //
 // The run is cancellable: Ctrl-C (SIGINT/SIGTERM) or an elapsed
 // -timeout aborts the evaluation within one input token.
@@ -42,6 +46,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		inputFile  = fs.String("i", "", "input XML document (default stdin)")
 		outputFile = fs.String("o", "", "output file (default stdout)")
 		engineName = fs.String("engine", "gcx", "engine: gcx, projection (no GC) or dom (full buffering)")
+		formatName = fs.String("format", "auto", "input format: auto, xml, json or ndjson (auto uses the -i extension, then sniffs the first byte)")
 		mode       = fs.String("mode", "deferred", "sign-off mode: deferred or eager")
 		agg        = fs.Bool("agg", false, "enable the aggregation extension (count/sum/min/max/avg)")
 		explain    = fs.Bool("explain", false, "print roles and the rewritten query, then exit")
@@ -101,7 +106,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		toStdout = false
 	}
 
-	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards}
+	format, err := gcx.ParseFormat(*formatName)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if format == gcx.FormatAuto && *inputFile != "" {
+		format = gcx.DetectPathFormat(*inputFile)
+	}
+
+	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards, Format: format}
 	switch *engineName {
 	case "gcx":
 		opts.Engine = gcx.EngineGCX

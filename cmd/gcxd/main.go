@@ -21,26 +21,36 @@
 //	GET  /stats   JSON counters: requests, cache hits/misses, bytes out
 //
 // POST /query reads the query text from the X-GCX-Query header or the
-// "query" URL parameter, and the XML document from the request body.
+// "query" URL parameter, and the input document from the request body.
 // Optional URL parameters: engine=gcx|projection|dom (default gcx),
 // signoff=deferred|eager (default deferred), agg=1 to enable the
 // aggregation extension, shards=N (1..gcx.MaxShards) to run a partitionable query
 // over N parallel engine instances (non-partitionable queries fall back
-// to one, see DESIGN.md §6). Execution statistics arrive as HTTP
-// trailers (X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Shards); an error
-// after streaming has begun is reported in the X-Gcx-Error trailer,
-// since the status line is already on the wire.
+// to one, see DESIGN.md §6), format=auto|xml|json|ndjson (default auto)
+// to select the input syntax — JSON/NDJSON bodies stream back as JSON
+// lines (DESIGN.md §8), and format=ndjson additionally enables
+// newline-boundary sharding for eligible queries. Execution statistics
+// arrive as HTTP trailers (X-Gcx-Tokens, X-Gcx-Peak-Nodes,
+// X-Gcx-Shards); an error after streaming has begun is reported in the
+// X-Gcx-Error trailer, since the status line is already on the wire.
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight queries for up to -drain before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gcx"
@@ -49,6 +59,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	cacheSize := flag.Int("cache", 256, "compiled-query cache capacity")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline: how long in-flight queries may finish after SIGINT/SIGTERM")
 	flag.Parse()
 
 	srv := newServer(*cacheSize)
@@ -61,8 +72,34 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+
+	// Graceful drain: the first SIGINT/SIGTERM stops accepting new
+	// connections and lets in-flight queries run to completion within
+	// the -drain deadline; streams still open at the deadline are cut.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("gcxd listening on %s", *addr)
-	log.Fatal(hs.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills the process immediately
+		log.Printf("gcxd draining (deadline %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("gcxd drain incomplete: %v", err)
+			hs.Close()
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+		log.Printf("gcxd stopped")
+	}
 }
 
 // server is the gcxd HTTP handler; it is safe for concurrent use.
@@ -87,6 +124,10 @@ type server struct {
 	// fast-forwarded past without tokenizing, and fast-forwards taken.
 	bytesSkipped    atomic.Int64
 	subtreesSkipped atomic.Int64
+
+	// jsonRequests counts requests that selected the JSON/NDJSON front
+	// end via ?format= (DESIGN.md §8).
+	jsonRequests atomic.Int64
 }
 
 func newServer(cacheSize int) *server {
@@ -135,7 +176,25 @@ func optionsFromRequest(r *http.Request) (gcx.Options, error) {
 		}
 		opts.Shards = n
 	}
+	format, err := gcx.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		return opts, err
+	}
+	opts.Format = format
 	return opts, nil
+}
+
+// contentType maps the request's input format to the response body's
+// media type: XML results for XML input, JSON lines otherwise. Auto is
+// reported as XML — the historical default — since the body's real
+// format is only known after sniffing begins streaming.
+func contentType(f gcx.Format) string {
+	switch f {
+	case gcx.FormatJSON, gcx.FormatNDJSON:
+		return "application/x-ndjson"
+	default:
+		return "application/xml"
+	}
 }
 
 // countingWriter tracks whether (and how much of) the response body has
@@ -177,7 +236,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("Content-Type", contentType(opts.Format))
 	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Shards, X-Gcx-Bytes-Skipped")
 	cw := &countingWriter{w: w}
 	res, err := q.ExecuteContext(r.Context(), r.Body, cw, opts)
@@ -202,6 +261,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.bytesSkipped.Add(res.BytesSkipped)
 	s.subtreesSkipped.Add(res.SubtreesSkipped)
+	if opts.Format == gcx.FormatJSON || opts.Format == gcx.FormatNDJSON {
+		s.jsonRequests.Add(1)
+	}
 	w.Header().Set("X-Gcx-Tokens", fmt.Sprint(res.TokensProcessed))
 	w.Header().Set("X-Gcx-Peak-Nodes", fmt.Sprint(res.PeakBufferedNodes))
 	w.Header().Set("X-Gcx-Shards", fmt.Sprint(res.ShardsUsed))
@@ -234,5 +296,6 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shard_fallbacks":  s.shardFallbacks.Load(),
 		"bytes_skipped":    s.bytesSkipped.Load(),
 		"subtrees_skipped": s.subtreesSkipped.Load(),
+		"json_requests":    s.jsonRequests.Load(),
 	})
 }

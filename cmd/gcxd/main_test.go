@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"gcx"
+	"gcx/internal/xmark"
 )
 
 const testQuery = `<out>{ for $b in /bib/book return $b/title }</out>`
@@ -258,6 +259,73 @@ func TestServerShardedRequests(t *testing.T) {
 	}
 	if stats.ShardFallbacks != 1 {
 		t.Errorf("shard_fallbacks = %d, want 1", stats.ShardFallbacks)
+	}
+}
+
+// TestServerNDJSONRequests drives the format=ndjson parameter end to
+// end: JSON output with the NDJSON content type, sharded NDJSON
+// requests byte-identical to sequential ones, the json_requests
+// counter, and rejection of unknown format names.
+func TestServerNDJSONRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer(8))
+	defer ts.Close()
+
+	nd, _, err := xmark.GenerateNDJSONString(xmark.Config{TargetBytes: 64 << 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := xmark.NDJSONQueries["J1"].Text
+	q, err := gcx.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := q.ExecuteString(nd, gcx.Options{Format: gcx.FormatNDJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postQuery(t, ts.URL, query, nd, "format=ndjson")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ndjson request: status %d: %s", resp.StatusCode, body)
+	}
+	if body != want {
+		t.Fatalf("ndjson output differs from library run:\n got %.200q\nwant %.200q", body, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	// Sharded NDJSON: byte-identical, with the shard trailer.
+	resp, body = postQuery(t, ts.URL, query, nd, "format=ndjson&shards=4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded ndjson request: status %d: %s", resp.StatusCode, body)
+	}
+	if body != want {
+		t.Fatal("sharded ndjson output differs from sequential")
+	}
+	if got := resp.Trailer.Get("X-Gcx-Shards"); got != "4" {
+		t.Fatalf("X-Gcx-Shards = %q, want 4", got)
+	}
+
+	// Unknown format names are a client error.
+	resp, body = postQuery(t, ts.URL, query, nd, "format=yaml")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=yaml: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+
+	var stats struct {
+		JSONRequests int64 `json:"json_requests"`
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.JSONRequests != 2 {
+		t.Errorf("json_requests = %d, want 2", stats.JSONRequests)
 	}
 }
 

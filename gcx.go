@@ -55,6 +55,77 @@ const (
 	EngineDOM
 )
 
+// Format selects the input syntax — and with it the output syntax: XML
+// input serializes results as XML, JSON/NDJSON input as JSON lines
+// (DESIGN.md §8). The engine itself is format-neutral; the format only
+// picks which front end feeds it events.
+type Format int
+
+const (
+	// FormatAuto sniffs the stream's first non-whitespace byte: '<'
+	// means XML, anything else JSON. Auto never resolves to NDJSON —
+	// line framing (and with it NDJSON sharding) is an explicit promise
+	// the caller must make via FormatNDJSON.
+	FormatAuto Format = iota
+	// FormatXML is the paper's XML front end.
+	FormatXML
+	// FormatJSON is a stream of whitespace-separated JSON values: a
+	// single document, or concatenated/pretty-printed values. Object
+	// keys become element names, arrays repeated siblings, so the
+	// query's paths apply unchanged under the virtual /root/record
+	// document shape.
+	FormatJSON
+	// FormatNDJSON is newline-delimited JSON — exactly one record per
+	// line, the boundary record-aligned stream sharding cuts at.
+	FormatNDJSON
+)
+
+func (f Format) String() string { return f.core().String() }
+
+// core maps the public constant to the internal one.
+func (f Format) core() core.Format {
+	switch f {
+	case FormatXML:
+		return core.FormatXML
+	case FormatJSON:
+		return core.FormatJSON
+	case FormatNDJSON:
+		return core.FormatNDJSON
+	default:
+		return core.FormatAuto
+	}
+}
+
+// ParseFormat resolves a CLI/URL format name: auto, xml, json, ndjson
+// (aliases jsonl, json-lines). The empty string means FormatAuto.
+func ParseFormat(s string) (Format, error) {
+	f, err := core.ParseFormat(s)
+	if err != nil {
+		return FormatAuto, err
+	}
+	return fromCore(f), nil
+}
+
+// DetectPathFormat guesses a format from a file name's extension
+// (.xml, .json, .ndjson, .jsonl), returning FormatAuto when the
+// extension is not telling.
+func DetectPathFormat(path string) Format {
+	return fromCore(core.DetectPathFormat(path))
+}
+
+func fromCore(f core.Format) Format {
+	switch f {
+	case core.FormatXML:
+		return FormatXML
+	case core.FormatJSON:
+		return FormatJSON
+	case core.FormatNDJSON:
+		return FormatNDJSON
+	default:
+		return FormatAuto
+	}
+}
+
 // SignOffMode selects when a signOff on a still-streaming subtree takes
 // effect; see DESIGN.md §3.
 type SignOffMode int
@@ -77,6 +148,13 @@ const MaxShards = shard.MaxWorkers
 type Options struct {
 	Engine      Engine
 	SignOffMode SignOffMode
+	// Format selects the input (and with it the output) syntax; the
+	// zero value FormatAuto sniffs the stream's first non-whitespace
+	// byte. Sharded execution (Shards > 1) partitions XML input at the
+	// compiled partition path and FormatNDJSON input at newlines;
+	// FormatJSON input makes no line-framing promise and always runs
+	// sequentially.
+	Format Format
 	// EnableAggregation opts into the aggregation extension — count(),
 	// sum(), min(), max(), avg() in output position (the paper's
 	// fragment excludes aggregation).
@@ -253,7 +331,13 @@ func (q *Query) Roles() []Role {
 func (q *Query) Explain() string {
 	s := q.plan.Explain()
 	if q.shardInfo != nil {
-		return s + "\nSharding: partitionable on " + q.shardInfo.PartitionPath.String() + "\n"
+		s += "\nSharding: partitionable on " + q.shardInfo.PartitionPath.String()
+		if r := analysis.NDJSONShardable(q.shardInfo); r != "" {
+			s += " (ndjson: sequential only — " + r + ")"
+		} else {
+			s += " (ndjson: eligible)"
+		}
+		return s + "\n"
 	}
 	return s + "\nSharding: sequential only (" + q.shardReason + ")\n"
 }
@@ -285,6 +369,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		EnableAggregation: opts.EnableAggregation,
 		DisableSkip:       opts.DisableSubtreeSkip,
 		RecordEvery:       opts.RecordEvery,
+		Format:            opts.Format.core(),
 	}
 	switch opts.Engine {
 	case EngineGCX:
@@ -307,7 +392,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("gcx: negative shard count %d", opts.Shards)
 	}
-	if opts.Shards > 1 && q.shardInfo != nil && opts.RecordEvery == 0 {
+	if opts.Shards > 1 && q.shardInfo != nil && opts.RecordEvery == 0 && formatShardable(opts.Format, q.shardInfo) {
 		shards := opts.Shards
 		if shards > MaxShards {
 			shards = MaxShards
@@ -357,6 +442,23 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		out.Series = append(out.Series, SeriesPoint{Token: p.Token, Nodes: p.Nodes, Bytes: p.Bytes})
 	}
 	return out, nil
+}
+
+// formatShardable reports whether sharded execution is available for
+// the requested input format. XML (and Auto, which the splitter treats
+// as XML) partitions at the compiled partition path; NDJSON partitions
+// at newlines when the query is NDJSON-eligible (wrapperless, cut at or
+// below /root/record — analysis.NDJSONShardable); plain JSON makes no
+// line-framing promise and always runs sequentially.
+func formatShardable(f Format, info *analysis.ShardInfo) bool {
+	switch f {
+	case FormatNDJSON:
+		return analysis.NDJSONShardable(info) == ""
+	case FormatJSON:
+		return false
+	default:
+		return true
+	}
 }
 
 // ExecuteString is a convenience wrapper evaluating over a string input

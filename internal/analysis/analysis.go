@@ -94,6 +94,12 @@ type Plan struct {
 	// be compiled (then runs simply never skip), immutable, and shared
 	// by all executions of the plan.
 	Automaton *xpath.Automaton
+	// SkipReason says why Automaton is nil — the compile-time reason
+	// byte-level subtree skipping is unavailable (attribute-axis
+	// projection path, state cap). Empty when Automaton is non-nil;
+	// runtime switches (DisableSubtreeSkip, RecordEvery) additionally
+	// disable skipping per run without being recorded here.
+	SkipReason string
 	// Opts are the analysis switches the plan was compiled with, kept so
 	// derived plans (sharding) reuse the same analysis.
 	Opts Options
@@ -119,6 +125,15 @@ func (p *Plan) Explain() string {
 	}
 	b.WriteString("\nRewritten query with signOff statements:\n")
 	b.WriteString(xqast.Print(p.Rewritten))
+	// The skipping verdict mirrors the shardability line: when the
+	// automaton could not be compiled, say why instead of silently
+	// running without fast-forwards (DESIGN.md §7).
+	if p.Automaton != nil {
+		b.WriteString("\nSkipping: byte-level subtree skipping active" +
+			" (disabled per run by DisableSubtreeSkip or RecordEvery)\n")
+	} else {
+		b.WriteString("\nSkipping: disabled (" + p.SkipReason + ")\n")
+	}
 	return b.String()
 }
 
@@ -167,6 +182,6 @@ func AnalyzeWithOptions(q *xqast.Query, opts Options) (*Plan, error) {
 		UsesAggregation: ex.usesAggregation,
 		Opts:            opts,
 	}
-	plan.Automaton = xpath.CompileAutomaton(plan.RolePaths())
+	plan.Automaton, plan.SkipReason = xpath.CompileAutomatonReason(plan.RolePaths())
 	return plan, nil
 }

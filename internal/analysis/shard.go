@@ -18,6 +18,7 @@ package analysis
 import (
 	"bytes"
 
+	"gcx/internal/event"
 	"gcx/internal/xmltok"
 	"gcx/internal/xpath"
 	"gcx/internal/xqast"
@@ -83,6 +84,43 @@ func Shardable(p *Plan) (*ShardInfo, string) {
 		Suffix:        append([]byte(nil), suffix.Bytes()...),
 		Inner:         inner,
 	}, ""
+}
+
+// NDJSONShardable reports whether a shardable plan can also be sharded
+// over NDJSON input, where the only available record boundary is the
+// newline (internal/jsontok.Splitter — DESIGN.md §8). It returns ""
+// when eligible, or the reason the NDJSON run must stay sequential.
+//
+// The constraints beyond plain shardability: the query must be
+// wrapperless (the Prefix/Suffix wrapper bytes are serialized XML and
+// cannot wrap JSON-lines output), and the partition path's first two
+// steps must sit at or below the tokenizer's virtual root/record pair —
+// a line holds exactly one record subtree, so cuts above the record
+// level would split state across chunks.
+func NDJSONShardable(info *ShardInfo) string {
+	if len(info.Prefix) > 0 || len(info.Suffix) > 0 {
+		return "query constructs a constant wrapper, which serializes as XML and cannot wrap JSON-lines output"
+	}
+	steps := info.PartitionPath.Steps
+	if len(steps) < 2 {
+		return "partition path " + info.PartitionPath.String() + " sits above the record level (one NDJSON line = one /" +
+			event.RootName + "/" + event.RecordName + " subtree)"
+	}
+	if !stepMatchesName(steps[0], event.RootName) {
+		return "partition path does not start at the virtual /" + event.RootName + " element"
+	}
+	if !stepMatchesName(steps[1], event.RecordName) {
+		return "partition path's second step does not match the per-line /" +
+			event.RootName + "/" + event.RecordName + " element"
+	}
+	return ""
+}
+
+// stepMatchesName reports whether a child step accepts an element of
+// the given name (exact name test or wildcard).
+func stepMatchesName(s xpath.Step, name string) bool {
+	return s.Test.Kind == xpath.TestWildcard ||
+		(s.Test.Kind == xpath.TestName && s.Test.Name == name)
 }
 
 // stripWrapper descends through the constant wrapper around the outer

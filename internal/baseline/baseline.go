@@ -21,6 +21,7 @@ import (
 	"gcx/internal/analysis"
 	"gcx/internal/dom"
 	"gcx/internal/engine"
+	"gcx/internal/event"
 	"gcx/internal/xmltok"
 	"gcx/internal/xpath"
 	"gcx/internal/xqast"
@@ -28,30 +29,35 @@ import (
 )
 
 // RunDOM evaluates the plan's normalized query over a fully buffered
-// document.
+// XML document (convenience wrapper over RunDOMSource for tests and
+// callers with plain readers).
 func RunDOM(plan *analysis.Plan, input io.Reader, output io.Writer, enableAggregation bool) (*engine.Result, error) {
-	return RunDOMContext(context.Background(), plan, input, output, enableAggregation)
+	src := xmltok.NewTokenizer(input)
+	sink := xmltok.NewSerializer(output)
+	defer src.Release()
+	defer sink.Release()
+	return RunDOMSource(context.Background(), plan, src, sink, enableAggregation)
 }
 
-// RunDOMContext is RunDOM under a cancellation context: parsing aborts
-// at token-pull boundaries, evaluation between loop iterations.
-func RunDOMContext(ctx context.Context, plan *analysis.Plan, input io.Reader, output io.Writer, enableAggregation bool) (*engine.Result, error) {
+// RunDOMSource evaluates the plan's normalized query over a fully
+// buffered document read from an arbitrary event source, under a
+// cancellation context: parsing aborts at token-pull boundaries,
+// evaluation between loop iterations. The caller owns src and sink and
+// releases them after the call.
+func RunDOMSource(ctx context.Context, plan *analysis.Plan, src event.Source, out event.Sink, enableAggregation bool) (*engine.Result, error) {
 	if plan.UsesAggregation && !enableAggregation {
 		return nil, fmt.Errorf("baseline: query uses the aggregation extension; enable it explicitly")
 	}
-	doc, err := dom.ParseContext(ctx, input)
+	doc, err := dom.ParseSource(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	out := xmltok.NewSerializer(output)
 	ev := &domEval{out: out, ctx: ctx}
 	env := map[string]*dom.Node{xqast.RootVar: doc.Root}
 	if err := ev.eval(plan.Normalized.Body, env); err != nil {
-		out.Release()
 		return nil, err
 	}
 	if err := out.Flush(); err != nil {
-		out.Release()
 		return nil, err
 	}
 	res := &engine.Result{
@@ -63,24 +69,27 @@ func RunDOMContext(ctx context.Context, plan *analysis.Plan, input io.Reader, ou
 		TotalAppended:      doc.Nodes,
 		OutputBytes:        out.BytesWritten(),
 	}
-	out.Release()
 	return res, nil
 }
 
 // RunProjectionOnly evaluates with static projection but no dynamic
 // buffer minimization (sign-offs become no-ops for memory purposes).
 func RunProjectionOnly(plan *analysis.Plan, input io.Reader, output io.Writer, enableAggregation bool) (*engine.Result, error) {
-	e := engine.New(plan, input, output, engine.Config{
+	src := xmltok.NewTokenizer(input)
+	sink := xmltok.NewSerializer(output)
+	e := engine.New(plan, src, sink, engine.Config{
 		DisableGC:         true,
 		EnableAggregation: enableAggregation,
 	})
-	return e.Run()
+	res, err := e.Run()
+	e.Release()
+	return res, err
 }
 
 // domEval is the recursive DOM evaluator; it mirrors the GCX engine's
 // semantics without any streaming machinery.
 type domEval struct {
-	out *xmltok.Serializer
+	out event.Sink
 	ctx context.Context
 }
 
@@ -99,17 +108,17 @@ func (ev *domEval) eval(expr xqast.Expr, env map[string]*dom.Node) error {
 		ev.out.Text(expr.Value)
 		return nil
 	case *xqast.Element:
-		attrs := make([]xmltok.Attr, len(expr.Attrs))
+		attrs := make([]event.Attr, len(expr.Attrs))
 		for i, a := range expr.Attrs {
 			if a.Expr == nil {
-				attrs[i] = xmltok.Attr{Name: a.Name, Value: a.Lit}
+				attrs[i] = event.Attr{Name: a.Name, Value: a.Lit}
 				continue
 			}
 			vals, err := ev.pathValues(*a.Expr, env)
 			if err != nil {
 				return err
 			}
-			attrs[i] = xmltok.Attr{Name: a.Name, Value: xqvalue.JoinSpace(vals)}
+			attrs[i] = event.Attr{Name: a.Name, Value: xqvalue.JoinSpace(vals)}
 		}
 		ev.out.StartElement(expr.Name, attrs)
 		if err := ev.eval(expr.Content, env); err != nil {

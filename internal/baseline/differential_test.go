@@ -9,6 +9,7 @@ import (
 
 	"gcx/internal/analysis"
 	"gcx/internal/engine"
+	"gcx/internal/xmltok"
 	"gcx/internal/xqgen"
 	"gcx/internal/xqparse"
 )
@@ -59,7 +60,7 @@ func runAll(t *testing.T, src, doc string) (oracle string, streaming map[string]
 	} {
 		cfg := v.cfg
 		var b bytes.Buffer
-		e := engine.New(v.plan, strings.NewReader(doc), &b, cfg)
+		e := engine.New(v.plan, xmltok.NewTokenizer(strings.NewReader(doc)), xmltok.NewSerializer(&b), cfg)
 		res, err := e.Run()
 		if err != nil {
 			t.Fatalf("%s run: %v\nquery: %s\ndoc: %s", name, err, src, doc)

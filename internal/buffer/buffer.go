@@ -5,7 +5,7 @@ import (
 	"strings"
 	"sync"
 
-	"gcx/internal/xmltok"
+	"gcx/internal/event"
 )
 
 // Buffer is the buffer manager's store: the tree of buffered nodes and
@@ -122,7 +122,7 @@ func addNodes(n *Node, delta int64) {
 // AppendElement buffers a new element under parent. The node starts
 // open: it carries one pin until CloseNode is called, so it cannot be
 // purged while its subtree is still streaming in.
-func (b *Buffer) AppendElement(parent *Node, name string, attrs []xmltok.Attr) *Node {
+func (b *Buffer) AppendElement(parent *Node, name string, attrs []event.Attr) *Node {
 	n := b.newNode()
 	n.Kind = KindElement
 	n.Name = name
@@ -403,7 +403,7 @@ func (b *Buffer) CheckBalance() error {
 
 // Serialize writes the subtree of n to s (opening tag, content, closing
 // tag; text nodes as character data).
-func Serialize(n *Node, s *xmltok.Serializer) {
+func Serialize(n *Node, s event.Sink) {
 	switch n.Kind {
 	case KindText:
 		s.Text(n.Text)

@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"strings"
 
-	"gcx/internal/xmltok"
+	"gcx/internal/event"
 )
 
 // NodeKind discriminates buffered nodes.
@@ -36,9 +36,9 @@ const (
 // that purging is O(1) pointer surgery.
 type Node struct {
 	Kind  NodeKind
-	Name  string        // element name (KindElement)
-	Attrs []xmltok.Attr // attributes ride along with their element
-	Text  string        // character data (KindText)
+	Name  string       // element name (KindElement)
+	Attrs []event.Attr // attributes ride along with their element
+	Text  string       // character data (KindText)
 
 	Parent     *Node
 	FirstChild *Node

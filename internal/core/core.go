@@ -84,6 +84,9 @@ type ExecOptions struct {
 	Engine            EngineKind
 	SignOffMode       engine.SignOffMode
 	EnableAggregation bool
+	// Format selects the input (and with it the output) syntax;
+	// FormatAuto sniffs the stream's first non-whitespace byte.
+	Format Format
 	// DisableSkip turns off projection-guided byte-level subtree
 	// skipping (DESIGN.md §7); used by A/B measurements and parity
 	// tests. Recording runs disable skipping regardless.
@@ -118,8 +121,20 @@ func Execute(plan *analysis.Plan, input io.Reader, output io.Writer, opts ExecOp
 // per-run state lives in the engine instance created here.
 func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, output io.Writer, opts ExecOptions) (*ExecResult, error) {
 	start := time.Now()
+	format, input, err := ResolveFormat(opts.Format, input)
+	if err != nil {
+		return nil, err
+	}
+	src, err := NewSource(format, input)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := NewSink(format, output)
+	if err != nil {
+		src.Release()
+		return nil, err
+	}
 	var res *engine.Result
-	var err error
 	var rec *stats.Recorder
 	switch opts.Engine {
 	case GCX, ProjectionOnly:
@@ -133,14 +148,19 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 			rec = stats.NewRecorder(opts.RecordEvery)
 			cfg.Recorder = rec
 		}
-		eng := engine.New(plan, input, output, cfg)
+		eng := engine.New(plan, src, sink, cfg)
 		res, err = eng.RunContext(ctx)
 		// The result only carries counters, so the engine's pooled
-		// buffers can go back to their pools right away.
+		// buffers (source, sink, node slabs) go back to their pools
+		// right away.
 		eng.Release()
 	case DOM:
-		res, err = baseline.RunDOMContext(ctx, plan, input, output, opts.EnableAggregation)
+		res, err = baseline.RunDOMSource(ctx, plan, src, sink, opts.EnableAggregation)
+		src.Release()
+		sink.Release()
 	default:
+		src.Release()
+		sink.Release()
 		return nil, fmt.Errorf("core: unknown engine kind %d", opts.Engine)
 	}
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 
+	"gcx/internal/event"
 	"gcx/internal/xmltok"
 	"gcx/internal/xpath"
 )
@@ -31,7 +32,7 @@ const (
 type Node struct {
 	Kind     NodeKind
 	Name     string
-	Attrs    []xmltok.Attr
+	Attrs    []event.Attr
 	Text     string
 	Parent   *Node
 	Children []*Node
@@ -55,11 +56,19 @@ func Parse(r io.Reader) (*Document, error) {
 	return ParseContext(context.Background(), r)
 }
 
-// ParseContext reads the entire stream into a Document, aborting with
-// ctx.Err() at the first token pulled after ctx is cancelled.
+// ParseContext reads the entire XML stream into a Document, aborting
+// with ctx.Err() at the first token pulled after ctx is cancelled.
 func ParseContext(ctx context.Context, r io.Reader) (*Document, error) {
 	tz := xmltok.NewTokenizer(r)
 	defer tz.Release()
+	return ParseSource(ctx, tz)
+}
+
+// ParseSource reads an entire event stream into a Document. It is the
+// format-neutral core of Parse: any event.Source (XML tokenizer, JSON
+// tokenizer) can back the DOM baseline. The caller keeps ownership of
+// src and releases it.
+func ParseSource(ctx context.Context, tz event.Source) (*Document, error) {
 	tz.SetContext(ctx)
 	root := &Node{Kind: Root}
 	doc := &Document{Root: root}
@@ -73,7 +82,7 @@ func ParseContext(ctx context.Context, r io.Reader) (*Document, error) {
 			return nil, err
 		}
 		switch tok.Kind {
-		case xmltok.StartElement:
+		case event.StartElement:
 			n := &Node{Kind: Element, Name: tok.Name, Attrs: tok.Attrs, Parent: cur}
 			cur.Children = append(cur.Children, n)
 			cur = n
@@ -82,9 +91,9 @@ func ParseContext(ctx context.Context, r io.Reader) (*Document, error) {
 			for _, a := range tok.Attrs {
 				doc.Bytes += int64(len(a.Name) + len(a.Value) + 32)
 			}
-		case xmltok.EndElement:
+		case event.EndElement:
 			cur = cur.Parent
-		case xmltok.Text:
+		case event.Text:
 			n := &Node{Kind: Text, Text: tok.Text, Parent: cur}
 			cur.Children = append(cur.Children, n)
 			doc.Nodes++
@@ -224,7 +233,7 @@ func docOrder(base *Node, nodes []*Node) []*Node {
 }
 
 // Serialize writes the subtree of n.
-func Serialize(n *Node, s *xmltok.Serializer) {
+func Serialize(n *Node, s event.Sink) {
 	switch n.Kind {
 	case Text:
 		s.Text(n.Text)

@@ -14,13 +14,12 @@ package engine
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"gcx/internal/analysis"
 	"gcx/internal/buffer"
+	"gcx/internal/event"
 	"gcx/internal/projection"
 	"gcx/internal/stats"
-	"gcx/internal/xmltok"
 	"gcx/internal/xpath"
 	"gcx/internal/xqast"
 	"gcx/internal/xqvalue"
@@ -89,26 +88,32 @@ type Result struct {
 	SubtreesSkipped int64
 }
 
-// Engine evaluates one compiled query over one input stream.
+// Engine evaluates one compiled query over one input event stream. It
+// is format-agnostic: the Source and Sink given to New are the only
+// places a concrete syntax (XML, JSON) exists — everything in here
+// operates on the event vocabulary of internal/event.
 type Engine struct {
 	plan *analysis.Plan
 	cfg  Config
 	buf  *buffer.Buffer
-	tz   *xmltok.Tokenizer
+	src  event.Source
 	proj *projection.Preprojector
-	out  *xmltok.Serializer
+	out  event.Sink
 	ctx  context.Context
 	// done caches ctx.Done() so the per-step cancellation check in
 	// ensure is a lock-free channel poll.
 	done <-chan struct{}
 }
 
-// New builds an engine instance for a single run.
-func New(plan *analysis.Plan, input io.Reader, output io.Writer, cfg Config) *Engine {
+// New builds an engine instance for a single run over the given event
+// source, writing the result through sink. The caller (internal/core)
+// picks the concrete source and sink for the run's input and output
+// format and remains responsible for releasing them after the engine's
+// Release.
+func New(plan *analysis.Plan, src event.Source, sink event.Sink, cfg Config) *Engine {
 	buf := buffer.New()
 	buf.DisableGC = cfg.DisableGC
-	tz := xmltok.NewTokenizer(input)
-	proj := projection.New(tz, buf, plan.RolePaths())
+	proj := projection.New(src, buf, plan.RolePaths())
 	if !cfg.DisableSkip && cfg.Recorder == nil {
 		proj.EnableSkipping(plan.Automaton)
 	}
@@ -116,9 +121,9 @@ func New(plan *analysis.Plan, input io.Reader, output io.Writer, cfg Config) *En
 		plan: plan,
 		cfg:  cfg,
 		buf:  buf,
-		tz:   tz,
+		src:  src,
 		proj: proj,
-		out:  xmltok.NewSerializer(output),
+		out:  sink,
 	}
 	if cfg.Recorder != nil {
 		rec := cfg.Recorder
@@ -145,7 +150,7 @@ func (e *Engine) Run() (*Result, error) {
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	e.ctx = ctx
 	e.done = ctx.Done()
-	e.tz.SetContext(ctx)
+	e.src.SetContext(ctx)
 	if e.plan.UsesAggregation && !e.cfg.EnableAggregation {
 		return nil, fmt.Errorf("engine: query uses the aggregation extension (count/sum/min/max/avg); enable it explicitly — the paper fragment excludes aggregation")
 	}
@@ -165,6 +170,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	if err := e.out.Flush(); err != nil {
 		return nil, err
 	}
+	skip := e.src.SkipStats()
 	return &Result{
 		TokensProcessed:    e.proj.TokensProcessed(),
 		PeakBufferedNodes:  e.buf.PeakNodes,
@@ -173,9 +179,9 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		TotalAppended:      e.buf.TotalAppended,
 		TotalPurged:        e.buf.TotalPurged,
 		OutputBytes:        e.out.BytesWritten(),
-		BytesSkipped:       e.tz.BytesSkipped(),
-		TagsSkipped:        e.tz.TagsSkipped(),
-		SubtreesSkipped:    e.tz.SubtreesSkipped(),
+		BytesSkipped:       skip.BytesSkipped,
+		TagsSkipped:        skip.TagsSkipped,
+		SubtreesSkipped:    skip.SubtreesSkipped,
 	}, nil
 }
 
@@ -183,13 +189,13 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 // (exposed for tests and the property harness).
 func (e *Engine) CheckBalance() error { return e.buf.CheckBalance() }
 
-// Release hands the engine's pooled resources — tokenizer scratch
-// buffers, the serializer's write buffer and the buffer manager's node
+// Release hands the engine's pooled resources — source scratch
+// buffers, the sink's write buffer and the buffer manager's node
 // slabs — back to their pools. Call it once per engine, after Run's
 // result has been consumed and the buffer is no longer inspected; the
 // engine is unusable afterwards.
 func (e *Engine) Release() {
-	e.tz.Release()
+	e.src.Release()
 	e.out.Release()
 	e.buf.Release()
 }
@@ -399,21 +405,21 @@ func (e *Engine) nextBinding(base, prev *buffer.Node, step xpath.Step) *buffer.N
 
 // evalAttrs computes the attribute list of a constructor, evaluating
 // value templates against the environment.
-func (e *Engine) evalAttrs(attrs []xqast.AttrTemplate, env map[string]*buffer.Node) ([]xmltok.Attr, error) {
+func (e *Engine) evalAttrs(attrs []xqast.AttrTemplate, env map[string]*buffer.Node) ([]event.Attr, error) {
 	if len(attrs) == 0 {
 		return nil, nil
 	}
-	out := make([]xmltok.Attr, len(attrs))
+	out := make([]event.Attr, len(attrs))
 	for i, a := range attrs {
 		if a.Expr == nil {
-			out[i] = xmltok.Attr{Name: a.Name, Value: a.Lit}
+			out[i] = event.Attr{Name: a.Name, Value: a.Lit}
 			continue
 		}
 		vals, err := e.pathValues(*a.Expr, env)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = xmltok.Attr{Name: a.Name, Value: xqvalue.JoinSpace(vals)}
+		out[i] = event.Attr{Name: a.Name, Value: xqvalue.JoinSpace(vals)}
 	}
 	return out, nil
 }

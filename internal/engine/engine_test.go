@@ -57,7 +57,7 @@ func run(t *testing.T, src, doc string, cfg Config) (string, *Result, *Engine) {
 	t.Helper()
 	plan := compile(t, src)
 	var out bytes.Buffer
-	e := New(plan, strings.NewReader(doc), &out, cfg)
+	e := newXML(plan, strings.NewReader(doc), &out, cfg)
 	res, err := e.Run()
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -308,7 +308,7 @@ func TestCountExtension(t *testing.T) {
 	const doc = `<as><a><b/><b/><b/></a><a/><a><b/></a></as>`
 	plan := compile(t, q)
 	var out bytes.Buffer
-	if _, err := New(plan, strings.NewReader(doc), &out, Config{}).Run(); err == nil {
+	if _, err := newXML(plan, strings.NewReader(doc), &out, Config{}).Run(); err == nil {
 		t.Fatal("count() must be rejected without EnableAggregation")
 	}
 	got, _, _ := run(t, q, doc, Config{EnableAggregation: true})

@@ -73,7 +73,7 @@ func TestAggregateFamily(t *testing.T) {
 func TestAggregatesRequireOptIn(t *testing.T) {
 	plan := compile(t, `<o>{ sum(/a/b) }</o>`)
 	var sb strings.Builder
-	if _, err := New(plan, strings.NewReader(`<a><b>1</b></a>`), &sb, Config{}).Run(); err == nil {
+	if _, err := newXML(plan, strings.NewReader(`<a><b>1</b></a>`), &sb, Config{}).Run(); err == nil {
 		t.Fatal("sum() must require EnableAggregation")
 	}
 }

@@ -16,11 +16,11 @@ func TestOneByteReader(t *testing.T) {
 	plan := compile(t, PaperQuery)
 
 	var whole bytes.Buffer
-	if _, err := New(plan, strings.NewReader(doc), &whole, Config{}).Run(); err != nil {
+	if _, err := newXML(plan, strings.NewReader(doc), &whole, Config{}).Run(); err != nil {
 		t.Fatal(err)
 	}
 	var chunked bytes.Buffer
-	e := New(plan, iotest.OneByteReader(strings.NewReader(doc)), &chunked, Config{})
+	e := newXML(plan, iotest.OneByteReader(strings.NewReader(doc)), &chunked, Config{})
 	res, err := e.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func TestInputErrorPropagates(t *testing.T) {
 	)
 	plan := compile(t, PaperQuery)
 	var out bytes.Buffer
-	_, err := New(plan, broken, &out, Config{}).Run()
+	_, err := newXML(plan, broken, &out, Config{}).Run()
 	if err == nil || !strings.Contains(err.Error(), "disk gone") {
 		t.Fatalf("want propagated read error, got %v", err)
 	}
@@ -55,7 +55,7 @@ func TestTruncatedInputFails(t *testing.T) {
 	doc := fig3Doc(repeatKinds("book", 4, "article"))
 	plan := compile(t, PaperQuery)
 	var out bytes.Buffer
-	_, err := New(plan, strings.NewReader(doc[:len(doc)/2]), &out, Config{}).Run()
+	_, err := newXML(plan, strings.NewReader(doc[:len(doc)/2]), &out, Config{}).Run()
 	if err == nil {
 		t.Fatal("truncated document must fail")
 	}
@@ -67,7 +67,7 @@ func TestWriteErrorSurfaces(t *testing.T) {
 	doc := fig3Doc(repeatKinds("book", 4, "article"))
 	plan := compile(t, PaperQuery)
 	w := &failingWriter{failAfter: 0} // fail on the first flush
-	_, err := New(plan, strings.NewReader(doc), w, Config{}).Run()
+	_, err := newXML(plan, strings.NewReader(doc), w, Config{}).Run()
 	if err == nil {
 		t.Fatal("write error must surface")
 	}

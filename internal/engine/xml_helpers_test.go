@@ -1,0 +1,15 @@
+package engine
+
+import (
+	"io"
+
+	"gcx/internal/analysis"
+	"gcx/internal/xmltok"
+)
+
+// newXML is a test shim: the production engine is format-neutral (it
+// sees only event.Source/event.Sink), so tests that run over literal
+// XML documents build the xmltok front-end pair here.
+func newXML(plan *analysis.Plan, r io.Reader, w io.Writer, cfg Config) *Engine {
+	return New(plan, xmltok.NewTokenizer(r), xmltok.NewSerializer(w), cfg)
+}

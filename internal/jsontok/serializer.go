@@ -1,0 +1,180 @@
+package jsontok
+
+import (
+	"bufio"
+	"io"
+	"sync"
+
+	"gcx/internal/event"
+)
+
+// Serializer renders result events as JSON lines — the single output
+// path of all engines when the run's format is JSON/NDJSON, so GCX, the
+// projection-only engine and the DOM baseline produce byte-identical
+// results for the differential tests, and sharded workers' outputs
+// concatenate into exactly the sequential serialization.
+//
+// Encoding (DESIGN.md §8): an element named n renders as {"n":[ ... ]}
+// with its children — text as JSON strings, child elements as nested
+// single-key objects — comma-separated inside the array; attributes of
+// constructed elements render as leading {"@name":["value"]} members.
+// Every top-level item (element or bare text) is followed by a newline,
+// so a query over NDJSON yields NDJSON. No serializer state crosses
+// top-level items, which is what makes sharded output concatenation
+// byte-identical to the sequential run.
+type Serializer struct {
+	w *bufio.Writer
+	// open tracks the open-element nesting; each entry is true once the
+	// element has at least one emitted child (comma placement).
+	open     []bool
+	topItems int64
+	bytes    int64
+	err      error
+	released bool
+}
+
+// serializerPool recycles Serializers and their 64 KiB write buffers
+// across executions.
+var serializerPool = sync.Pool{
+	New: func() any {
+		return &Serializer{w: bufio.NewWriterSize(io.Discard, 64<<10)}
+	},
+}
+
+// NewSerializer returns a Serializer writing to w. Serializers come
+// from an internal pool; callers that finish with one may hand its
+// buffer back via Release.
+func NewSerializer(w io.Writer) *Serializer {
+	s := serializerPool.Get().(*Serializer)
+	s.w.Reset(w)
+	s.open = s.open[:0]
+	s.topItems = 0
+	s.bytes = 0
+	s.err = nil
+	s.released = false
+	return s
+}
+
+// Release returns the serializer's buffer to the pool, discarding any
+// unflushed output. The serializer must not be used afterwards;
+// counters read before Release stay valid. Release is idempotent.
+func (s *Serializer) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.w.Reset(io.Discard)
+	serializerPool.Put(s)
+}
+
+// BytesWritten reports the number of bytes emitted so far (pre-flush
+// buffering included).
+func (s *Serializer) BytesWritten() int64 { return s.bytes }
+
+// Err returns the first write error encountered, if any.
+func (s *Serializer) Err() error { return s.err }
+
+// sep emits the separator a new item needs at the current position: a
+// comma between siblings inside an element, nothing before the first
+// child or between top-level items (those are newline-terminated
+// instead, by close).
+func (s *Serializer) sep() {
+	if n := len(s.open); n > 0 {
+		if s.open[n-1] {
+			s.writeString(",")
+		}
+		s.open[n-1] = true
+	}
+}
+
+// close terminates a just-completed top-level item with its newline.
+func (s *Serializer) close() {
+	if len(s.open) == 0 {
+		s.topItems++
+		s.writeString("\n")
+	}
+}
+
+// StartElement opens an element: {"name":[ with attributes, if any, as
+// leading {"@attr":["value"]} members.
+func (s *Serializer) StartElement(name string, attrs []event.Attr) {
+	s.sep()
+	s.writeString(`{`)
+	s.writeQuoted(name)
+	s.writeString(`:[`)
+	s.open = append(s.open, false)
+	for _, a := range attrs {
+		s.sep()
+		s.writeString(`{`)
+		s.writeQuoted("@" + a.Name)
+		s.writeString(`:[`)
+		s.writeQuoted(a.Value)
+		s.writeString(`]}`)
+	}
+}
+
+// EndElement closes the innermost open element.
+func (s *Serializer) EndElement(name string) {
+	s.writeString(`]}`)
+	if n := len(s.open); n > 0 {
+		s.open = s.open[:n-1]
+	}
+	s.close()
+}
+
+// Text writes character data as a JSON string.
+func (s *Serializer) Text(text string) {
+	s.sep()
+	s.writeQuoted(text)
+	s.close()
+}
+
+// Flush writes any buffered output to the underlying writer and reports
+// the first error seen on any operation.
+func (s *Serializer) Flush() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+func (s *Serializer) writeString(str string) {
+	n, err := s.w.WriteString(str)
+	s.bytes += int64(n)
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// writeQuoted writes str as a JSON string literal.
+func (s *Serializer) writeQuoted(str string) {
+	s.writeString(`"`)
+	last := 0
+	for i := 0; i < len(str); i++ {
+		c := str[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		s.writeString(str[last:i])
+		switch c {
+		case '"':
+			s.writeString(`\"`)
+		case '\\':
+			s.writeString(`\\`)
+		case '\n':
+			s.writeString(`\n`)
+		case '\r':
+			s.writeString(`\r`)
+		case '\t':
+			s.writeString(`\t`)
+		default:
+			s.writeString(`\u00`)
+			s.writeString(string([]byte{hexDigits[c>>4], hexDigits[c&0xf]}))
+		}
+		last = i + 1
+	}
+	s.writeString(str[last:])
+	s.writeString(`"`)
+}

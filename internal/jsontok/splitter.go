@@ -1,0 +1,118 @@
+package jsontok
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+)
+
+// DefaultChunkTarget is the default chunk size target in bytes,
+// matching the XML splitter's: chunks seal at the first record (line)
+// boundary at or past the target.
+const DefaultChunkTarget = 64 << 10
+
+// Chunk is one self-contained slice of an NDJSON stream: whole lines,
+// each a complete record.
+type Chunk struct {
+	// Seq is the chunk's position in input order (0-based); the merge
+	// serializer emits chunk outputs in Seq order.
+	Seq int
+	// Records is the number of non-blank lines in the chunk.
+	Records int
+	// Data is the chunk's bytes: the records' lines verbatim, each
+	// newline-terminated.
+	Data []byte
+}
+
+// Splitter cuts an NDJSON byte stream into record-aligned chunks for
+// sharded execution (DESIGN.md §6/§8). Unlike the XML splitter, which
+// raw-scans element nesting to find record boundaries and re-wraps
+// chunks with synthesized ancestor tags, NDJSON's record boundary is a
+// newline: the splitter just packs whole lines until the byte target —
+// no nesting scan, no re-wrapping, no content outside records. Each
+// chunk tokenizes into the same virtual root/record structure as the
+// full stream, so the worker engines' projection paths match unchanged.
+//
+// Lines are not parsed here; a malformed record surfaces as a syntax
+// error in the worker that tokenizes its chunk, exactly as the
+// sequential run would report it. Blank lines are dropped.
+type Splitter struct {
+	r      *bufio.Reader
+	ctx    context.Context
+	target int
+	seq    int
+	done   bool
+}
+
+// NewSplitter returns a Splitter reading NDJSON records from r.
+func NewSplitter(r io.Reader) *Splitter {
+	return &Splitter{r: bufio.NewReaderSize(r, 64<<10), target: DefaultChunkTarget}
+}
+
+// SetContext attaches a cancellation context, checked between lines.
+func (sp *Splitter) SetContext(ctx context.Context) { sp.ctx = ctx }
+
+// SetTargetBytes overrides the chunk size target (0 keeps the default).
+func (sp *Splitter) SetTargetBytes(n int) {
+	if n > 0 {
+		sp.target = n
+	}
+}
+
+// Next returns the next chunk, or io.EOF after the last one. The
+// returned Data is freshly allocated and owned by the caller — the
+// splitter keeps no reference, so chunks can be processed concurrently.
+func (sp *Splitter) Next() (Chunk, error) {
+	if sp.done {
+		return Chunk{}, io.EOF
+	}
+	var buf []byte
+	records := 0
+	for len(buf) < sp.target {
+		if sp.ctx != nil {
+			if err := sp.ctx.Err(); err != nil {
+				return Chunk{}, err
+			}
+		}
+		line, err := sp.readLine()
+		if err != nil && err != io.EOF {
+			return Chunk{}, err
+		}
+		if len(bytes.TrimSpace(line)) > 0 {
+			buf = append(buf, line...)
+			if n := len(buf); n == 0 || buf[n-1] != '\n' {
+				buf = append(buf, '\n')
+			}
+			records++
+		}
+		if err == io.EOF {
+			sp.done = true
+			break
+		}
+	}
+	if records == 0 {
+		return Chunk{}, io.EOF
+	}
+	c := Chunk{Seq: sp.seq, Records: records, Data: buf}
+	sp.seq++
+	return c, nil
+}
+
+// readLine reads one full line including its trailing newline,
+// growing past the bufio window for oversized records. It returns
+// io.EOF together with the final unterminated line, if any.
+func (sp *Splitter) readLine() ([]byte, error) {
+	var long []byte
+	for {
+		part, err := sp.r.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			long = append(long, part...)
+			continue
+		}
+		if long == nil {
+			return part, err
+		}
+		return append(long, part...), err
+	}
+}

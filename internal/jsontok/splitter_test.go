@@ -1,0 +1,105 @@
+package jsontok
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func collectChunks(t *testing.T, input string, target int) []Chunk {
+	t.Helper()
+	sp := NewSplitter(strings.NewReader(input))
+	if target > 0 {
+		sp.SetTargetBytes(target)
+	}
+	var chunks []Chunk
+	for {
+		c, err := sp.Next()
+		if err == io.EOF {
+			return chunks
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		chunks = append(chunks, c)
+	}
+}
+
+// TestSplitterReassembly: chunk bytes concatenate back to the input's
+// records, each line intact.
+func TestSplitterReassembly(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 100; i++ {
+		in.WriteString(`{"i":` + strings.Repeat("9", i%7+1) + `}` + "\n")
+	}
+	chunks := collectChunks(t, in.String(), 64)
+	if len(chunks) < 2 {
+		t.Fatalf("want multiple chunks at a 64-byte target, got %d", len(chunks))
+	}
+	var re bytes.Buffer
+	records := 0
+	for i, c := range chunks {
+		if c.Seq != i {
+			t.Fatalf("chunk %d has Seq %d", i, c.Seq)
+		}
+		if c.Records <= 0 {
+			t.Fatalf("chunk %d has %d records", i, c.Records)
+		}
+		records += c.Records
+		re.Write(c.Data)
+	}
+	if re.String() != in.String() {
+		t.Fatalf("reassembled bytes differ from input")
+	}
+	if records != 100 {
+		t.Fatalf("records = %d, want 100", records)
+	}
+}
+
+// TestSplitterBlankLinesAndFinalNewline: blank lines vanish, a missing
+// trailing newline is repaired.
+func TestSplitterBlankLinesAndFinalNewline(t *testing.T) {
+	const in = "{\"a\":1}\n\n  \n{\"b\":2}"
+	chunks := collectChunks(t, in, 0)
+	if len(chunks) != 1 {
+		t.Fatalf("got %d chunks, want 1", len(chunks))
+	}
+	want := "{\"a\":1}\n{\"b\":2}\n"
+	if string(chunks[0].Data) != want {
+		t.Fatalf("got %q, want %q", chunks[0].Data, want)
+	}
+	if chunks[0].Records != 2 {
+		t.Fatalf("Records = %d, want 2", chunks[0].Records)
+	}
+}
+
+// TestSplitterOversizedLine: a record longer than the bufio window and
+// the chunk target still arrives whole.
+func TestSplitterOversizedLine(t *testing.T) {
+	big := `{"v":"` + strings.Repeat("x", 256<<10) + `"}`
+	in := "{\"a\":1}\n" + big + "\n{\"b\":2}\n"
+	chunks := collectChunks(t, in, 1024)
+	var re bytes.Buffer
+	for _, c := range chunks {
+		re.Write(c.Data)
+	}
+	if re.String() != in {
+		t.Fatal("oversized line mangled by splitter")
+	}
+	for _, c := range chunks {
+		for _, line := range bytes.SplitAfter(c.Data, []byte("\n")) {
+			if len(line) > 0 && line[len(line)-1] != '\n' {
+				t.Fatal("chunk contains a partial line")
+			}
+		}
+	}
+}
+
+func TestSplitterEmptyInput(t *testing.T) {
+	for _, in := range []string{"", "\n\n", "   \n"} {
+		if chunks := collectChunks(t, in, 0); len(chunks) != 0 {
+			t.Fatalf("%q: got %d chunks, want 0", in, len(chunks))
+		}
+	}
+}

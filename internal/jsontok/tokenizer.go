@@ -1,0 +1,697 @@
+// Package jsontok is the JSON/NDJSON front end of the engine: a
+// streaming tokenizer that presents JSON values as the format-neutral
+// tree events of internal/event (Tokenizer implements event.Source), a
+// serializer that renders result events back as JSON lines (Serializer
+// implements event.Sink), and an NDJSON line splitter for sharded
+// execution.
+//
+// The tree mapping (DESIGN.md §8) makes the existing XPath subset,
+// projection automaton and subtree skipping apply unchanged:
+//
+//   - the stream is one virtual element named event.RootName ("root");
+//   - every top-level JSON value — one line of NDJSON — is an element
+//     named event.RecordName ("record");
+//   - an object member k:v becomes an element named k containing the
+//     mapping of v;
+//   - an array becomes repeated siblings: each item is mapped under the
+//     array's own element name (the object key it was the value of, or
+//     "record" at the top level), so {"a":[1,2]} ≡ <a>1</a><a>2</a> and
+//     nested arrays flatten;
+//   - scalars become text content: strings unescaped, numbers and
+//     true/false verbatim, null an empty element.
+//
+// Like the XML tokenizer, the Tokenizer works strictly one event at a
+// time, interns object keys so repeated field names in large streams
+// share one string allocation, and supports byte-level SkipSubtree:
+// when the projection automaton proves a value irrelevant, its bytes
+// are raw-scanned to the matching close brace without string decoding,
+// number parsing or event construction.
+package jsontok
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"gcx/internal/event"
+)
+
+// SyntaxError describes malformed JSON input with its byte offset.
+type SyntaxError struct {
+	Offset int64
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jsontok: syntax error at byte %d: %s", e.Offset, e.Msg)
+}
+
+// frame kinds of the container stack.
+const (
+	frameStream uint8 = iota // the virtual root: a sequence of records
+	frameObject              // inside { }: the element named frame.name is open
+	frameArray               // inside [ ]: items repeat under frame.name, no element open
+)
+
+type frame struct {
+	kind uint8
+	name string
+	// needSep is set once a member value has been consumed, so the next
+	// parse position expects ',' or the closing bracket.
+	needSep bool
+}
+
+// Tokenizer reads a JSON or NDJSON byte stream and produces events one
+// at a time. The zero value is not usable; construct with NewTokenizer.
+type Tokenizer struct {
+	r   *bufio.Reader
+	off int64
+
+	stack   []frame
+	pending [2]event.Token // queued events of a scalar value (text, end)
+	npend   int
+	ppend   int
+
+	// names interns object keys (→ element names); repeated fields in
+	// large streams share one string allocation.
+	names map[string]string
+
+	ioErr error
+
+	ctx     context.Context
+	ctxDone <-chan struct{}
+
+	count    int64
+	started  bool
+	done     bool
+	released bool
+
+	textBuf []byte
+
+	bytesSkipped    int64
+	tagsSkipped     int64
+	subtreesSkipped int64
+}
+
+// tokenizerPool recycles Tokenizers — each carries a 64 KiB bufio
+// buffer, a key-interning map and a text scratch buffer.
+var tokenizerPool = sync.Pool{
+	New: func() any {
+		return &Tokenizer{
+			r:     bufio.NewReaderSize(eofReader{}, 64<<10),
+			names: make(map[string]string, 64),
+		}
+	},
+}
+
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// maxInternedNames bounds the interning map carried across pooled
+// reuses; beyond it the map is cleared on the next NewTokenizer.
+const maxInternedNames = 4096
+
+// NewTokenizer returns a Tokenizer reading from r. Tokenizers come from
+// an internal pool; callers that finish with one may hand its buffers
+// back via Release.
+func NewTokenizer(r io.Reader) *Tokenizer {
+	t := tokenizerPool.Get().(*Tokenizer)
+	t.r.Reset(r)
+	t.off = 0
+	t.stack = t.stack[:0]
+	t.npend = 0
+	t.ppend = 0
+	if len(t.names) > maxInternedNames {
+		clear(t.names)
+	}
+	t.ioErr = nil
+	t.ctx = nil
+	t.ctxDone = nil
+	t.count = 0
+	t.started = false
+	t.done = false
+	t.released = false
+	t.textBuf = t.textBuf[:0]
+	t.bytesSkipped = 0
+	t.tagsSkipped = 0
+	t.subtreesSkipped = 0
+	return t
+}
+
+// SetContext attaches a cancellation context. Next fails with ctx.Err()
+// at the first event pull after cancellation.
+func (t *Tokenizer) SetContext(ctx context.Context) {
+	t.ctx = ctx
+	t.ctxDone = nil
+	if ctx != nil {
+		t.ctxDone = ctx.Done()
+	}
+}
+
+// Release returns the tokenizer's buffers to the pool. The tokenizer
+// must not be used afterwards; counters read before Release stay valid.
+// Release is idempotent.
+func (t *Tokenizer) Release() {
+	if t.released {
+		return
+	}
+	t.released = true
+	t.r.Reset(eofReader{})
+	t.ctx = nil
+	t.ctxDone = nil
+	tokenizerPool.Put(t)
+}
+
+// TokenCount reports how many events have been delivered so far.
+func (t *Tokenizer) TokenCount() int64 { return t.count }
+
+// BytesSkipped reports how many input bytes SkipSubtree fast-forwarded
+// past without tokenization.
+func (t *Tokenizer) BytesSkipped() int64 { return t.bytesSkipped }
+
+// TagsSkipped reports a lower bound on the elements inside skipped
+// values (object members counted via their key separators).
+func (t *Tokenizer) TagsSkipped() int64 { return t.tagsSkipped }
+
+// SubtreesSkipped reports how many SkipSubtree fast-forwards were taken.
+func (t *Tokenizer) SubtreesSkipped() int64 { return t.subtreesSkipped }
+
+// SkipStats bundles the skip counters as the event.Source contract
+// reports them.
+func (t *Tokenizer) SkipStats() event.SkipStats {
+	return event.SkipStats{
+		BytesSkipped:    t.bytesSkipped,
+		TagsSkipped:     t.tagsSkipped,
+		SubtreesSkipped: t.subtreesSkipped,
+	}
+}
+
+func (t *Tokenizer) emit(tok event.Token) (event.Token, error) {
+	t.count++
+	return tok, nil
+}
+
+func (t *Tokenizer) queue(tok event.Token) {
+	t.pending[t.npend] = tok
+	t.npend++
+}
+
+// Next returns the next event of the stream, io.EOF at the end.
+func (t *Tokenizer) Next() (event.Token, error) {
+	if t.ctxDone != nil {
+		select {
+		case <-t.ctxDone:
+			return event.Token{}, t.ctx.Err()
+		default:
+		}
+	}
+	if t.ppend < t.npend {
+		tok := t.pending[t.ppend]
+		t.ppend++
+		if t.ppend == t.npend {
+			t.ppend, t.npend = 0, 0
+		}
+		return t.emit(tok)
+	}
+	if t.done {
+		if t.ioErr != nil {
+			return event.Token{}, t.ioErr
+		}
+		return event.Token{}, io.EOF
+	}
+	if !t.started {
+		t.started = true
+		t.stack = append(t.stack, frame{kind: frameStream, name: event.RootName})
+		return t.emit(event.Token{Kind: event.StartElement, Name: event.RootName})
+	}
+	for {
+		top := &t.stack[len(t.stack)-1]
+		switch top.kind {
+		case frameStream:
+			b, err := t.skipSpace()
+			if err == io.EOF {
+				t.done = true
+				t.stack = t.stack[:len(t.stack)-1]
+				return t.emit(event.Token{Kind: event.EndElement, Name: event.RootName})
+			}
+			if err != nil {
+				return event.Token{}, err
+			}
+			_ = b
+			tok, ok, err := t.beginValue(event.RecordName)
+			if err != nil {
+				return event.Token{}, err
+			}
+			if !ok {
+				continue
+			}
+			return tok, nil
+		case frameObject:
+			b, err := t.skipSpace()
+			if err != nil {
+				return event.Token{}, t.unexpectedEOF(err, "inside object")
+			}
+			if b == '}' {
+				t.r.Discard(1)
+				t.off++
+				name := top.name
+				t.stack = t.stack[:len(t.stack)-1]
+				return t.emit(event.Token{Kind: event.EndElement, Name: name})
+			}
+			if top.needSep {
+				if b != ',' {
+					return event.Token{}, t.errf("expected ',' or '}' in object, got %q", b)
+				}
+				t.r.Discard(1)
+				t.off++
+				top.needSep = false
+				continue
+			}
+			if b != '"' {
+				return event.Token{}, t.errf("expected object key string, got %q", b)
+			}
+			key, err := t.readString(true)
+			if err != nil {
+				return event.Token{}, err
+			}
+			b, err = t.skipSpace()
+			if err != nil || b != ':' {
+				return event.Token{}, t.unexpectedSep(err, b, "':' after object key")
+			}
+			t.r.Discard(1)
+			t.off++
+			tok, ok, err := t.beginValue(key)
+			if err != nil {
+				return event.Token{}, err
+			}
+			if !ok {
+				continue
+			}
+			return tok, nil
+		case frameArray:
+			b, err := t.skipSpace()
+			if err != nil {
+				return event.Token{}, t.unexpectedEOF(err, "inside array")
+			}
+			if b == ']' {
+				t.r.Discard(1)
+				t.off++
+				t.stack = t.stack[:len(t.stack)-1]
+				continue // arrays emit no event of their own
+			}
+			if top.needSep {
+				if b != ',' {
+					return event.Token{}, t.errf("expected ',' or ']' in array, got %q", b)
+				}
+				t.r.Discard(1)
+				t.off++
+				top.needSep = false
+				continue
+			}
+			tok, ok, err := t.beginValue(top.name)
+			if err != nil {
+				return event.Token{}, err
+			}
+			if !ok {
+				continue
+			}
+			return tok, nil
+		default:
+			return event.Token{}, t.errf("corrupt tokenizer state")
+		}
+	}
+}
+
+// beginValue parses the start of one JSON value that maps to elements
+// named name. The enclosing frame's separator expectation is armed
+// here, before any child frame is pushed. ok=false (with nil error)
+// means an array frame was pushed and the caller's loop must continue —
+// arrays emit no event of their own, and iterating instead of recursing
+// keeps deeply nested array input from growing the goroutine stack.
+func (t *Tokenizer) beginValue(name string) (event.Token, bool, error) {
+	t.stack[len(t.stack)-1].needSep = true
+	b, err := t.skipSpace()
+	if err != nil {
+		return event.Token{}, false, t.unexpectedEOF(err, "expecting value")
+	}
+	scalar := func(text string, present bool) (event.Token, bool, error) {
+		if present {
+			t.queue(event.Token{Kind: event.Text, Text: text})
+		}
+		t.queue(event.Token{Kind: event.EndElement, Name: name})
+		tok, err := t.emit(event.Token{Kind: event.StartElement, Name: name})
+		return tok, true, err
+	}
+	switch {
+	case b == '{':
+		t.r.Discard(1)
+		t.off++
+		t.stack = append(t.stack, frame{kind: frameObject, name: name})
+		tok, err := t.emit(event.Token{Kind: event.StartElement, Name: name})
+		return tok, true, err
+	case b == '[':
+		t.r.Discard(1)
+		t.off++
+		t.stack = append(t.stack, frame{kind: frameArray, name: name})
+		return event.Token{}, false, nil
+	case b == '"':
+		s, err := t.readString(false)
+		if err != nil {
+			return event.Token{}, false, err
+		}
+		return scalar(s, s != "")
+	case b == 't':
+		if err := t.literal("true"); err != nil {
+			return event.Token{}, false, err
+		}
+		return scalar("true", true)
+	case b == 'f':
+		if err := t.literal("false"); err != nil {
+			return event.Token{}, false, err
+		}
+		return scalar("false", true)
+	case b == 'n':
+		if err := t.literal("null"); err != nil {
+			return event.Token{}, false, err
+		}
+		return scalar("", false)
+	case b == '-' || (b >= '0' && b <= '9'):
+		s, err := t.readNumber()
+		if err != nil {
+			return event.Token{}, false, err
+		}
+		return scalar(s, true)
+	default:
+		return event.Token{}, false, t.errf("unexpected %q at start of value", b)
+	}
+}
+
+// SkipSubtree fast-forwards past the value of the StartElement most
+// recently returned by Next, without producing its events. Container
+// values are raw-scanned at byte level — no string decoding, number
+// parsing, key interning or event construction happens for the skipped
+// region; scalar values (already consumed) just drop their queued
+// events.
+func (t *Tokenizer) SkipSubtree() error {
+	t.subtreesSkipped++
+	if t.ppend < t.npend {
+		// Scalar value: its text and end events are queued; dropping
+		// them is the whole skip.
+		t.tagsSkipped++ // the undelivered EndElement
+		t.ppend, t.npend = 0, 0
+		return nil
+	}
+	if len(t.stack) == 0 {
+		return t.errf("SkipSubtree with no open element")
+	}
+	top := t.stack[len(t.stack)-1]
+	switch top.kind {
+	case frameObject:
+		// The object's '{' is consumed; scan to the matching '}'.
+		if err := t.rawSkip(1); err != nil {
+			return err
+		}
+		t.stack = t.stack[:len(t.stack)-1]
+		return nil
+	case frameStream:
+		// Skipping the virtual root: consume the remaining input.
+		if err := t.rawSkipToEOF(); err != nil {
+			return err
+		}
+		t.stack = t.stack[:0]
+		t.done = true
+		return nil
+	default:
+		return t.errf("SkipSubtree not positioned on a start element")
+	}
+}
+
+// rawSkip consumes bytes until the container nesting depth returns to
+// zero from the given starting depth, honoring strings and escapes. It
+// scans the buffered window in place — the hot loop touches each byte
+// once and allocates nothing.
+func (t *Tokenizer) rawSkip(depth int) error {
+	inStr := false
+	escaped := false
+	for {
+		if t.r.Buffered() == 0 {
+			if _, err := t.r.Peek(1); err != nil {
+				return t.unexpectedEOF(err, "inside skipped value")
+			}
+		}
+		buf, _ := t.r.Peek(t.r.Buffered())
+		for i := 0; i < len(buf); i++ {
+			c := buf[i]
+			if inStr {
+				switch {
+				case escaped:
+					escaped = false
+				case c == '\\':
+					escaped = true
+				case c == '"':
+					inStr = false
+				}
+				continue
+			}
+			switch c {
+			case '"':
+				inStr = true
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					t.r.Discard(i + 1)
+					t.off += int64(i + 1)
+					t.bytesSkipped += int64(i + 1)
+					return nil
+				}
+			case ':':
+				// Each object member inside the skipped region would
+				// have produced one element — a lower bound mirroring
+				// the XML tokenizer's tags-skipped counter.
+				t.tagsSkipped++
+			}
+		}
+		t.r.Discard(len(buf))
+		t.off += int64(len(buf))
+		t.bytesSkipped += int64(len(buf))
+	}
+}
+
+// rawSkipToEOF consumes the remaining input at byte level.
+func (t *Tokenizer) rawSkipToEOF() error {
+	for {
+		if t.r.Buffered() == 0 {
+			if _, err := t.r.Peek(1); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return err
+			}
+		}
+		buf, _ := t.r.Peek(t.r.Buffered())
+		for _, c := range buf {
+			if c == ':' {
+				t.tagsSkipped++
+			}
+		}
+		t.r.Discard(len(buf))
+		t.off += int64(len(buf))
+		t.bytesSkipped += int64(len(buf))
+	}
+}
+
+// skipSpace advances past insignificant whitespace and returns the next
+// byte without consuming it.
+func (t *Tokenizer) skipSpace() (byte, error) {
+	for {
+		b, err := t.r.ReadByte()
+		if err != nil {
+			if err != io.EOF {
+				t.ioErr = err
+			}
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			t.off++
+			continue
+		}
+		t.r.UnreadByte()
+		return b, nil
+	}
+}
+
+// literal consumes an exact keyword (true/false/null).
+func (t *Tokenizer) literal(lit string) error {
+	for i := 0; i < len(lit); i++ {
+		b, err := t.r.ReadByte()
+		if err != nil || b != lit[i] {
+			return t.unexpectedSep(err, b, fmt.Sprintf("literal %q", lit))
+		}
+		t.off++
+	}
+	return nil
+}
+
+// readString consumes a JSON string (the opening quote not yet
+// consumed) and returns its decoded value. Keys are interned.
+func (t *Tokenizer) readString(intern bool) (string, error) {
+	if b, err := t.r.ReadByte(); err != nil || b != '"' {
+		return "", t.unexpectedSep(err, b, "string")
+	}
+	t.off++
+	buf := t.textBuf[:0]
+	for {
+		b, err := t.r.ReadByte()
+		if err != nil {
+			return "", t.unexpectedEOF(err, "inside string")
+		}
+		t.off++
+		switch {
+		case b == '"':
+			t.textBuf = buf
+			if intern {
+				if s, ok := t.names[string(buf)]; ok {
+					return s, nil
+				}
+				s := string(buf)
+				t.names[s] = s
+				return s, nil
+			}
+			return string(buf), nil
+		case b == '\\':
+			e, err := t.r.ReadByte()
+			if err != nil {
+				return "", t.unexpectedEOF(err, "inside string escape")
+			}
+			t.off++
+			switch e {
+			case '"', '\\', '/':
+				buf = append(buf, e)
+			case 'b':
+				buf = append(buf, '\b')
+			case 'f':
+				buf = append(buf, '\f')
+			case 'n':
+				buf = append(buf, '\n')
+			case 'r':
+				buf = append(buf, '\r')
+			case 't':
+				buf = append(buf, '\t')
+			case 'u':
+				r, err := t.readHex4()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(rune(r)) {
+					// Try to combine with a following \uXXXX low half.
+					if b2, err2 := t.r.Peek(2); err2 == nil && b2[0] == '\\' && b2[1] == 'u' {
+						t.r.Discard(2)
+						t.off += 2
+						r2, err := t.readHex4()
+						if err != nil {
+							return "", err
+						}
+						if dec := utf16.DecodeRune(rune(r), rune(r2)); dec != utf8.RuneError {
+							buf = utf8.AppendRune(buf, dec)
+							continue
+						}
+						buf = utf8.AppendRune(buf, utf8.RuneError)
+						buf = utf8.AppendRune(buf, utf8.RuneError)
+						continue
+					}
+					buf = utf8.AppendRune(buf, utf8.RuneError)
+					continue
+				}
+				buf = utf8.AppendRune(buf, rune(r))
+			default:
+				return "", t.errf("invalid string escape '\\%c'", e)
+			}
+		case b < 0x20:
+			return "", t.errf("raw control character 0x%02x in string", b)
+		default:
+			buf = append(buf, b)
+		}
+	}
+}
+
+// readHex4 consumes four hex digits of a \u escape.
+func (t *Tokenizer) readHex4() (uint32, error) {
+	var r uint32
+	for i := 0; i < 4; i++ {
+		b, err := t.r.ReadByte()
+		if err != nil {
+			return 0, t.unexpectedEOF(err, "inside \\u escape")
+		}
+		t.off++
+		switch {
+		case b >= '0' && b <= '9':
+			r = r<<4 | uint32(b-'0')
+		case b >= 'a' && b <= 'f':
+			r = r<<4 | uint32(b-'a'+10)
+		case b >= 'A' && b <= 'F':
+			r = r<<4 | uint32(b-'A'+10)
+		default:
+			return 0, t.errf("invalid hex digit %q in \\u escape", b)
+		}
+	}
+	return r, nil
+}
+
+// readNumber consumes a JSON number and returns its literal text
+// verbatim, preserving the input's formatting.
+func (t *Tokenizer) readNumber() (string, error) {
+	buf := t.textBuf[:0]
+	for {
+		b, err := t.r.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.ioErr = err
+			return "", err
+		}
+		if (b >= '0' && b <= '9') || b == '-' || b == '+' || b == '.' || b == 'e' || b == 'E' {
+			buf = append(buf, b)
+			t.off++
+			continue
+		}
+		t.r.UnreadByte()
+		break
+	}
+	t.textBuf = buf
+	if len(buf) == 0 || (len(buf) == 1 && buf[0] == '-') {
+		return "", t.errf("malformed number")
+	}
+	return string(buf), nil
+}
+
+func (t *Tokenizer) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: t.off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// unexpectedEOF folds an io error into a syntax error for truncated
+// input, preserving genuine read errors.
+func (t *Tokenizer) unexpectedEOF(err error, where string) error {
+	if err == io.EOF {
+		return t.errf("unexpected end of input %s", where)
+	}
+	if err != nil {
+		return err
+	}
+	return t.errf("unexpected state %s", where)
+}
+
+func (t *Tokenizer) unexpectedSep(err error, got byte, want string) error {
+	if err != nil {
+		return t.unexpectedEOF(err, "expecting "+want)
+	}
+	return t.errf("expected %s, got %q", want, got)
+}

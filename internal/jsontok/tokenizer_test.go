@@ -1,0 +1,336 @@
+package jsontok
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+
+	"gcx/internal/event"
+)
+
+// drain tokenizes all of input and renders the event stream compactly:
+// <name> for StartElement, </name> for EndElement, "text" for Text.
+func drain(t *testing.T, input string) string {
+	t.Helper()
+	tz := NewTokenizer(strings.NewReader(input))
+	defer tz.Release()
+	var b strings.Builder
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			return b.String()
+		}
+		if err != nil {
+			t.Fatalf("Next: %v\npartial: %s", err, b.String())
+		}
+		switch tok.Kind {
+		case event.StartElement:
+			b.WriteString("<" + tok.Name + ">")
+		case event.EndElement:
+			b.WriteString("</" + tok.Name + ">")
+		case event.Text:
+			b.WriteString("%" + tok.Text + "%")
+		}
+	}
+}
+
+func TestMapping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Scalars at the top level become records with text content.
+		{`1`, `<root><record>%1%</record></root>`},
+		{`"hi"`, `<root><record>%hi%</record></root>`},
+		{`true`, `<root><record>%true%</record></root>`},
+		{`false`, `<root><record>%false%</record></root>`},
+		// null and the empty string map to an empty element.
+		{`null`, `<root><record></record></root>`},
+		{`""`, `<root><record></record></root>`},
+		// Object members become child elements in document order.
+		{`{"a":1,"b":"x"}`, `<root><record><a>%1%</a><b>%x%</b></record></root>`},
+		// Arrays are repeated siblings under the inherited name.
+		{`{"a":[1,2,3]}`, `<root><record><a>%1%</a><a>%2%</a><a>%3%</a></record></root>`},
+		// Nested arrays flatten.
+		{`{"a":[[1,2],[3]]}`, `<root><record><a>%1%</a><a>%2%</a><a>%3%</a></record></root>`},
+		// Empty containers.
+		{`{}`, `<root><record></record></root>`},
+		{`{"a":[]}`, `<root><record></record></root>`},
+		{`[]`, `<root></root>`},
+		// A top-level array repeats the record element itself.
+		{`[1,2]`, `<root><record>%1%</record><record>%2%</record></root>`},
+		// NDJSON: one record per line.
+		{"{\"a\":1}\n{\"a\":2}\n", `<root><record><a>%1%</a></record><record><a>%2%</a></record></root>`},
+		// Concatenated / pretty-printed values also stream.
+		{" {\n  \"a\" : 1\n } {\"b\":2}", `<root><record><a>%1%</a></record><record><b>%2%</b></record></root>`},
+		// Nested objects.
+		{`{"a":{"b":{"c":0}}}`, `<root><record><a><b><c>%0%</c></b></a></record></root>`},
+		// Numbers keep their literal formatting.
+		{`{"n":-1.5e+10}`, `<root><record><n>%-1.5e+10%</n></record></root>`},
+		// Empty input is just the virtual root.
+		{``, `<root></root>`},
+		{"  \n ", `<root></root>`},
+	}
+	for _, c := range cases {
+		if got := drain(t, c.in); got != c.want {
+			t.Errorf("%q:\n got %s\nwant %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`"a\"b"`, `a"b`},
+		{`"a\\b"`, `a\b`},
+		{`"a\/b"`, `a/b`},
+		{`"\b\f\n\r\t"`, "\b\f\n\r\t"},
+		{`"\u0041"`, "A"},
+		{`"\u00e9"`, "é"},
+		{`"\ud83d\ude00"`, "😀"}, // surrogate pair
+		{`"\ud800"`, "\uFFFD"},  // lone high surrogate
+		{`"\ud800x"`, "\uFFFDx"},
+	}
+	for _, c := range cases {
+		got := drain(t, c.in)
+		want := fmt.Sprintf("<root><record>%%%s%%</record></root>", c.want)
+		if got != want {
+			t.Errorf("%s:\n got %s\nwant %s", c.in, got, want)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		`{`, `{"a"`, `{"a":`, `{"a":1`, `{"a":1,`, `{,}`, `{"a" 1}`,
+		`[1`, `[1,`, `]`, `}`, `,`, `:`,
+		`tru`, `nul`, `falze`, `-`, `"unterminated`,
+		`"bad \q escape"`, "\"raw \x01 control\"", `{"a":1}}`,
+		`"\ud83d\uq000"`,
+	}
+	for _, in := range bad {
+		tz := NewTokenizer(strings.NewReader(in))
+		var err error
+		for err == nil {
+			_, err = tz.Next()
+		}
+		tz.Release()
+		if err == io.EOF {
+			t.Errorf("%q: tokenized cleanly, want syntax error", in)
+		} else if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("%q: got %T (%v), want *SyntaxError", in, err, err)
+		}
+	}
+}
+
+func TestReadErrorPropagates(t *testing.T) {
+	broken := io.MultiReader(
+		strings.NewReader(`{"a":`),
+		iotest.ErrReader(fmt.Errorf("disk gone")),
+	)
+	tz := NewTokenizer(broken)
+	defer tz.Release()
+	var err error
+	for err == nil {
+		_, err = tz.Next()
+	}
+	if err == nil || !strings.Contains(err.Error(), "disk gone") {
+		t.Fatalf("want propagated read error, got %v", err)
+	}
+}
+
+func TestOneByteReads(t *testing.T) {
+	const in = `{"a":[1,"x\u0041"],"b":{"c":null}} {"d":true}`
+	want := drain(t, in)
+	tz := NewTokenizer(iotest.OneByteReader(strings.NewReader(in)))
+	defer tz.Release()
+	var b strings.Builder
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next under one-byte reads: %v", err)
+		}
+		switch tok.Kind {
+		case event.StartElement:
+			b.WriteString("<" + tok.Name + ">")
+		case event.EndElement:
+			b.WriteString("</" + tok.Name + ">")
+		case event.Text:
+			b.WriteString("%" + tok.Text + "%")
+		}
+	}
+	if b.String() != want {
+		t.Fatalf("one-byte reads diverge:\n got %s\nwant %s", b.String(), want)
+	}
+}
+
+// TestSkipSubtree: skipping an object value raw-scans to its close
+// brace and the stream resumes at the following sibling.
+func TestSkipSubtree(t *testing.T) {
+	const in = `{"skipme":{"deep":[1,2,{"x":"a }] string"}],"more":0},"keep":7}`
+	tz := NewTokenizer(strings.NewReader(in))
+	defer tz.Release()
+	var b strings.Builder
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if tok.Kind == event.StartElement && tok.Name == "skipme" {
+			if err := tz.SkipSubtree(); err != nil {
+				t.Fatalf("SkipSubtree: %v", err)
+			}
+			continue
+		}
+		switch tok.Kind {
+		case event.StartElement:
+			b.WriteString("<" + tok.Name + ">")
+		case event.EndElement:
+			b.WriteString("</" + tok.Name + ">")
+		case event.Text:
+			b.WriteString("%" + tok.Text + "%")
+		}
+	}
+	want := `<root><record><keep>%7%</keep></record></root>`
+	if b.String() != want {
+		t.Fatalf("after skip:\n got %s\nwant %s", b.String(), want)
+	}
+	if tz.SubtreesSkipped() != 1 {
+		t.Fatalf("SubtreesSkipped = %d, want 1", tz.SubtreesSkipped())
+	}
+	if tz.BytesSkipped() == 0 {
+		t.Fatal("BytesSkipped = 0 after a container skip")
+	}
+	// Members inside the skipped region: deep, x, more.
+	if tz.TagsSkipped() != 3 {
+		t.Fatalf("TagsSkipped = %d, want 3", tz.TagsSkipped())
+	}
+}
+
+// TestSkipScalar: skipping a scalar's element drops its queued events.
+func TestSkipScalar(t *testing.T) {
+	const in = `{"a":1,"b":2}`
+	tz := NewTokenizer(strings.NewReader(in))
+	defer tz.Release()
+	var b strings.Builder
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if tok.Kind == event.StartElement && tok.Name == "a" {
+			if err := tz.SkipSubtree(); err != nil {
+				t.Fatalf("SkipSubtree: %v", err)
+			}
+			continue
+		}
+		switch tok.Kind {
+		case event.StartElement:
+			b.WriteString("<" + tok.Name + ">")
+		case event.EndElement:
+			b.WriteString("</" + tok.Name + ">")
+		case event.Text:
+			b.WriteString("%" + tok.Text + "%")
+		}
+	}
+	want := `<root><record><b>%2%</b></record></root>`
+	if b.String() != want {
+		t.Fatalf("after scalar skip:\n got %s\nwant %s", b.String(), want)
+	}
+}
+
+// TestSkipRoot: skipping the virtual root consumes the whole stream.
+func TestSkipRoot(t *testing.T) {
+	tz := NewTokenizer(strings.NewReader(`{"a":1}` + "\n" + `{"b":2}`))
+	defer tz.Release()
+	tok, err := tz.Next()
+	if err != nil || tok.Kind != event.StartElement || tok.Name != event.RootName {
+		t.Fatalf("first event = %+v, %v", tok, err)
+	}
+	if err := tz.SkipSubtree(); err != nil {
+		t.Fatalf("SkipSubtree(root): %v", err)
+	}
+	if _, err := tz.Next(); err != io.EOF {
+		t.Fatalf("after root skip Next = %v, want io.EOF", err)
+	}
+}
+
+// TestDeepNesting: deeply nested arrays and objects must not grow the
+// goroutine stack (beginValue iterates instead of recursing).
+func TestDeepNesting(t *testing.T) {
+	const depth = 100000
+	in := strings.Repeat("[", depth) + "1" + strings.Repeat("]", depth)
+	got := drain(t, in)
+	if got != `<root><record>%1%</record></root>` {
+		t.Fatalf("deep arrays: got %s", got)
+	}
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString(`{"a":`)
+	}
+	b.WriteString("1")
+	b.WriteString(strings.Repeat("}", depth))
+	tz := NewTokenizer(strings.NewReader(b.String()))
+	defer tz.Release()
+	n := 0
+	for {
+		_, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("deep objects: %v", err)
+		}
+		n++
+	}
+	if want := 2 + 2 + 2*depth + 1; n != want {
+		t.Fatalf("deep objects: %d events, want %d", n, want)
+	}
+}
+
+func TestKeyInterning(t *testing.T) {
+	tz := NewTokenizer(strings.NewReader(`{"key":1}` + "\n" + `{"key":2}`))
+	defer tz.Release()
+	var names []string
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == event.StartElement && tok.Name == "key" {
+			names = append(names, tok.Name)
+		}
+	}
+	if len(names) != 2 {
+		t.Fatalf("saw %d key elements, want 2", len(names))
+	}
+}
+
+func TestTokenCount(t *testing.T) {
+	tz := NewTokenizer(strings.NewReader(`{"a":1}`))
+	defer tz.Release()
+	n := int64(0)
+	for {
+		_, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if tz.TokenCount() != n {
+		t.Fatalf("TokenCount = %d, delivered %d", tz.TokenCount(), n)
+	}
+}

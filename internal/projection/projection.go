@@ -15,7 +15,7 @@ import (
 	"io"
 
 	"gcx/internal/buffer"
-	"gcx/internal/xmltok"
+	"gcx/internal/event"
 	"gcx/internal/xpath"
 )
 
@@ -34,7 +34,7 @@ type item struct {
 // frame is the matcher state of one open element.
 type frame struct {
 	name  string
-	attrs []xmltok.Attr
+	attrs []event.Attr
 	// isRoot marks the virtual-root frame, which is matched by node()
 	// tests only (never by name or wildcard tests).
 	isRoot bool
@@ -54,7 +54,7 @@ func (f *frame) matchesSelf(test xpath.Test) bool {
 
 // Preprojector drives the tokenizer and fills the buffer.
 type Preprojector struct {
-	tz    *xmltok.Tokenizer
+	src   event.Source
 	buf   *buffer.Buffer
 	steps [][]xpath.Step // role id → compiled steps
 	stack []frame
@@ -64,7 +64,7 @@ type Preprojector struct {
 	// (DESIGN.md §7): dfaStack carries one automaton state per open
 	// frame, and a StartElement whose successor state is dead — no
 	// projection path can match at or below it — is fast-forwarded at
-	// byte level via Tokenizer.SkipSubtree instead of being matched
+	// byte level via Source.SkipSubtree instead of being matched
 	// frame by frame.
 	dfa      *xpath.Automaton
 	dfaStack []int32
@@ -77,9 +77,9 @@ type Preprojector struct {
 // New builds a preprojector for the given role projection paths (role id
 // = slice index). Roles with empty paths (the paper's r1, "/") are
 // assigned to the virtual root immediately.
-func New(tz *xmltok.Tokenizer, buf *buffer.Buffer, rolePaths []xpath.Path) *Preprojector {
+func New(src event.Source, buf *buffer.Buffer, rolePaths []xpath.Path) *Preprojector {
 	p := &Preprojector{
-		tz:    tz,
+		src:   src,
 		buf:   buf,
 		steps: make([][]xpath.Step, len(rolePaths)),
 	}
@@ -121,7 +121,7 @@ func (p *Preprojector) EnableSkipping(a *xpath.Automaton) {
 }
 
 // TokensProcessed reports the number of input tokens consumed.
-func (p *Preprojector) TokensProcessed() int64 { return p.tz.TokenCount() }
+func (p *Preprojector) TokensProcessed() int64 { return p.src.TokenCount() }
 
 // EOF reports whether the input is exhausted.
 func (p *Preprojector) EOF() bool { return p.eof }
@@ -132,7 +132,7 @@ func (p *Preprojector) Step() (bool, error) {
 	if p.eof {
 		return false, nil
 	}
-	tok, err := p.tz.Next()
+	tok, err := p.src.Next()
 	if err == io.EOF {
 		p.eof = true
 		return false, nil
@@ -141,13 +141,13 @@ func (p *Preprojector) Step() (bool, error) {
 		return false, err
 	}
 	switch tok.Kind {
-	case xmltok.StartElement:
+	case event.StartElement:
 		if err := p.startElement(tok); err != nil {
 			return false, err
 		}
-	case xmltok.EndElement:
+	case event.EndElement:
 		p.endElement()
-	case xmltok.Text:
+	case event.Text:
 		p.text(tok)
 	}
 	if p.OnToken != nil {
@@ -183,14 +183,14 @@ func (c *completion) add(role, count int) {
 	c.counts[role] += count
 }
 
-func (p *Preprojector) startElement(tok xmltok.Token) error {
+func (p *Preprojector) startElement(tok event.Token) error {
 	var dfaNext int32
 	if p.dfa != nil {
 		// Static dead-state test: a single table lookup decides subtree
 		// relevance before any per-item test re-evaluation happens.
 		dfaNext = p.dfa.Next(p.dfaStack[len(p.dfaStack)-1], tok.Name)
 		if p.dfa.Dead(dfaNext) {
-			return p.tz.SkipSubtree()
+			return p.src.SkipSubtree()
 		}
 	}
 	parent := &p.stack[len(p.stack)-1]
@@ -244,7 +244,7 @@ func (p *Preprojector) startElement(tok xmltok.Token) error {
 		// ignores first-witness [1] latches), so an element can be
 		// statically alive yet carry no active items and no completed
 		// role — nothing below it can match either. Skip it too.
-		return p.tz.SkipSubtree()
+		return p.src.SkipSubtree()
 	}
 	p.stack = append(p.stack, nf)
 	if p.dfa != nil {
@@ -300,7 +300,7 @@ func (p *Preprojector) endElement() {
 	}
 }
 
-func (p *Preprojector) text(tok xmltok.Token) {
+func (p *Preprojector) text(tok event.Token) {
 	top := &p.stack[len(p.stack)-1]
 	var done completion
 	for i := range top.items {
@@ -356,7 +356,7 @@ func textTail(steps []xpath.Step, from int) bool {
 // role: it ensures all open ancestors are buffered (creating role-less
 // skeleton nodes as needed to preserve tree structure) and appends the
 // element itself.
-func (p *Preprojector) materialize(name string, attrs []xmltok.Attr) *buffer.Node {
+func (p *Preprojector) materialize(name string, attrs []event.Attr) *buffer.Node {
 	parent := p.materializeStack()
 	return p.buf.AppendElement(parent, name, attrs)
 }

@@ -1,6 +1,7 @@
 // Package shard implements sharded data-parallel execution (DESIGN.md
 // §6): the input stream is partitioned into record-aligned chunks by a
-// single scanning pass (xmltok.Splitter), a pool of workers runs one
+// single scanning pass (xmltok.Splitter for XML, jsontok.Splitter for
+// NDJSON — DESIGN.md §8), a pool of workers runs one
 // independent engine instance per chunk — each with its own tokenizer,
 // buffer manager and serializer — and an ordered merge emits the worker
 // outputs in input order, so the sharded result is byte-identical to
@@ -17,6 +18,7 @@ import (
 
 	"gcx/internal/analysis"
 	"gcx/internal/core"
+	"gcx/internal/jsontok"
 	"gcx/internal/xmltok"
 	"gcx/internal/xpath"
 )
@@ -60,10 +62,11 @@ type Result struct {
 // task is one chunk travelling through the pool: the producer enqueues
 // it to the workers and, in input order, to the merger; the worker
 // posts its output on done (capacity 1, so workers never block on a
-// slow merge).
+// slow merge). data is the chunk's bytes regardless of which splitter
+// produced it.
 type task struct {
-	chunk xmltok.Chunk
-	done  chan taskResult
+	data []byte
+	done chan taskResult
 }
 
 type taskResult struct {
@@ -93,9 +96,31 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	steps := make([]xmltok.SplitStep, len(info.PartitionPath.Steps))
-	for i, st := range info.PartitionPath.Steps {
-		steps[i] = xmltok.SplitStep{Name: st.Test.Name, Wildcard: st.Test.Kind == xpath.TestWildcard}
+	// The splitter is format-specific: XML input is cut at partition-
+	// path record boundaries with ancestor re-wrapping (xmltok), NDJSON
+	// at newlines with no re-wrapping at all (jsontok). Both deliver
+	// self-contained chunk documents the workers evaluate independently.
+	var nextChunk func() ([]byte, error)
+	if cfg.Exec.Format == core.FormatNDJSON {
+		sp := jsontok.NewSplitter(input)
+		sp.SetContext(cctx)
+		sp.SetTargetBytes(cfg.ChunkTargetBytes)
+		nextChunk = func() ([]byte, error) {
+			c, err := sp.Next()
+			return c.Data, err
+		}
+	} else {
+		steps := make([]xmltok.SplitStep, len(info.PartitionPath.Steps))
+		for i, st := range info.PartitionPath.Steps {
+			steps[i] = xmltok.SplitStep{Name: st.Test.Name, Wildcard: st.Test.Kind == xpath.TestWildcard}
+		}
+		sp := xmltok.NewSplitter(input, steps)
+		sp.SetContext(cctx)
+		sp.SetTargetBytes(cfg.ChunkTargetBytes)
+		nextChunk = func() ([]byte, error) {
+			c, err := sp.Next()
+			return c.Data, err
+		}
 	}
 
 	work := make(chan *task, workers)
@@ -109,11 +134,8 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 	go func() {
 		defer close(order)
 		defer close(work)
-		sp := xmltok.NewSplitter(input, steps)
-		sp.SetContext(cctx)
-		sp.SetTargetBytes(cfg.ChunkTargetBytes)
 		for {
-			chunk, err := sp.Next()
+			data, err := nextChunk()
 			if err == io.EOF {
 				return
 			}
@@ -121,7 +143,7 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 				splitErr = err
 				return
 			}
-			t := &task{chunk: chunk, done: make(chan taskResult, 1)}
+			t := &task{data: data, done: make(chan taskResult, 1)}
 			select {
 			case work <- t:
 			case <-cctx.Done():
@@ -142,7 +164,7 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 			for t := range work {
 				buf := outBufPool.Get().(*bytes.Buffer)
 				buf.Reset()
-				res, err := core.ExecuteContext(cctx, info.Inner, bytes.NewReader(t.chunk.Data), buf, cfg.Exec)
+				res, err := core.ExecuteContext(cctx, info.Inner, bytes.NewReader(t.data), buf, cfg.Exec)
 				t.done <- taskResult{out: buf, res: res, err: err}
 			}
 		}()

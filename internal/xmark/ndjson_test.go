@@ -1,0 +1,66 @@
+package xmark
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestGenerateNDJSONValid: every generated line is a standalone JSON
+// object.
+func TestGenerateNDJSONValid(t *testing.T) {
+	out, st, err := GenerateNDJSONString(Config{TargetBytes: 64 << 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("line %d is not valid JSON: %q", lines+1, sc.Text())
+		}
+		lines++
+	}
+	if lines != st.Items {
+		t.Fatalf("Stats.Items = %d, counted %d lines", st.Items, lines)
+	}
+}
+
+// TestGenerateNDJSONDeterministic: same seed, same bytes.
+func TestGenerateNDJSONDeterministic(t *testing.T) {
+	a, _, err := GenerateNDJSONString(Config{TargetBytes: 32 << 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateNDJSONString(Config{TargetBytes: 32 << 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed produced different streams")
+	}
+	c, _, err := GenerateNDJSONString(Config{TargetBytes: 32 << 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestGenerateNDJSONSizeTargeting: output lands within 15% of the byte
+// target (pins the bytesPerBid calibration).
+func TestGenerateNDJSONSizeTargeting(t *testing.T) {
+	for _, target := range []int64{64 << 10, 1 << 20} {
+		out, _, err := GenerateNDJSONString(Config{TargetBytes: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := int64(len(out))
+		if got < target*85/100 || got > target*115/100 {
+			t.Fatalf("target %d bytes, generated %d (off by more than 15%%)", target, got)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"gcx/internal/event"
 )
 
 // SkipSubtree fast-forwards the input past the remainder of the
@@ -217,3 +219,13 @@ func (t *Tokenizer) TagsSkipped() int64 { return t.tagsSkipped }
 // SubtreesSkipped reports how many SkipSubtree calls completed or
 // started (including empty self-closing subtrees).
 func (t *Tokenizer) SubtreesSkipped() int64 { return t.subtreesSkipped }
+
+// SkipStats bundles the skip counters as the event.Source contract
+// reports them.
+func (t *Tokenizer) SkipStats() event.SkipStats {
+	return event.SkipStats{
+		BytesSkipped:    t.bytesSkipped,
+		TagsSkipped:     t.tagsSkipped,
+		SubtreesSkipped: t.subtreesSkipped,
+	}
+}

@@ -1,11 +1,13 @@
 // Package xmltok implements a streaming XML tokenizer and serializer.
 //
-// It is the lowest substrate of the GCX reproduction: the stream
-// preprojector (internal/projection), the DOM baseline (internal/dom) and
-// the XMark generator round-trips all consume or produce this token
-// stream. The tokenizer works strictly one token at a time with a single
-// token of lookahead, matching the paper's requirement that projection
-// "can be done on-the-fly, with a lookahead of just one token".
+// It is the XML front end of the GCX reproduction: the Tokenizer
+// implements event.Source and the Serializer implements event.Sink, so
+// the stream preprojector (internal/projection), the DOM baseline
+// (internal/dom) and the XMark generator round-trips all consume or
+// produce the format-neutral event stream of internal/event. The
+// tokenizer works strictly one token at a time with a single token of
+// lookahead, matching the paper's requirement that projection "can be
+// done on-the-fly, with a lookahead of just one token".
 //
 // The dialect is the data-oriented subset of XML that the GCX fragment
 // needs: elements, attributes, character data, CDATA sections, character
@@ -15,62 +17,35 @@
 // the original GCX.
 package xmltok
 
-import "fmt"
+import (
+	"fmt"
+
+	"gcx/internal/event"
+)
+
+// The token vocabulary is the format-neutral one of internal/event;
+// the aliases keep this package's historical names working and make
+// the Tokenizer satisfy event.Source structurally.
 
 // Kind identifies the kind of a Token.
-type Kind uint8
+type Kind = event.Kind
 
 const (
 	// StartElement is an opening tag. Self-closing tags (<a/>) produce a
 	// StartElement immediately followed by an EndElement, so that the
 	// paper's token counting (82 tags for 41 nodes) is preserved.
-	StartElement Kind = iota
+	StartElement = event.StartElement
 	// EndElement is a closing tag.
-	EndElement
+	EndElement = event.EndElement
 	// Text is character data (entity references already resolved).
-	Text
+	Text = event.Text
 )
 
-func (k Kind) String() string {
-	switch k {
-	case StartElement:
-		return "StartElement"
-	case EndElement:
-		return "EndElement"
-	case Text:
-		return "Text"
-	default:
-		return fmt.Sprintf("Kind(%d)", uint8(k))
-	}
-}
-
 // Attr is a single attribute of an element.
-type Attr struct {
-	Name  string
-	Value string
-}
+type Attr = event.Attr
 
 // Token is one event of the XML stream.
-type Token struct {
-	Kind Kind
-	// Name is the element name for StartElement and EndElement tokens.
-	Name string
-	// Text is the character data for Text tokens.
-	Text string
-	// Attrs holds the attributes of a StartElement token, in document
-	// order. It is nil for all other kinds.
-	Attrs []Attr
-}
-
-// Attr returns the value of the named attribute and whether it exists.
-func (t *Token) Attr(name string) (string, bool) {
-	for _, a := range t.Attrs {
-		if a.Name == name {
-			return a.Value, true
-		}
-	}
-	return "", false
-}
+type Token = event.Token
 
 // SyntaxError describes a malformed-input error with its byte offset.
 type SyntaxError struct {

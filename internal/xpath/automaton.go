@@ -1,6 +1,9 @@
 package xpath
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Automaton is a deterministic automaton over element names compiled
 // from a set of projection paths (DESIGN.md §7). Its states summarize,
@@ -133,6 +136,14 @@ func (sym symbol) matches(t Test) bool {
 // matching does not (Attribute), or when subset construction exceeds
 // maxAutomatonStates.
 func CompileAutomaton(paths []Path) *Automaton {
+	a, _ := CompileAutomatonReason(paths)
+	return a
+}
+
+// CompileAutomatonReason is CompileAutomaton with a diagnosis: when the
+// automaton cannot be built it returns nil and the reason subtree
+// skipping is unavailable for the path set, for Explain output.
+func CompileAutomatonReason(paths []Path) (*Automaton, string) {
 	steps := make([][]Step, len(paths))
 	names := map[string]struct{}{}
 	for i, p := range paths {
@@ -141,7 +152,8 @@ func CompileAutomaton(paths []Path) *Automaton {
 			switch st.Axis {
 			case Child, Descendant, DescendantOrSelf, Self:
 			default:
-				return nil
+				return nil, "projection path " + p.String() + " uses the " + st.Axis.String() +
+					" axis, which the byte-level path DFA cannot track"
 			}
 			if st.Test.Kind == TestName {
 				names[st.Test.Name] = struct{}{}
@@ -272,7 +284,7 @@ func CompileAutomaton(paths []Path) *Automaton {
 		for _, sym := range symbols {
 			id := intern(step(&cur, sym))
 			if len(a.states) > maxAutomatonStates {
-				return nil
+				return nil, fmt.Sprintf("subset construction exceeded the %d-state cap", maxAutomatonStates)
 			}
 			st := &a.states[done]
 			if sym.other {
@@ -285,7 +297,7 @@ func CompileAutomaton(paths []Path) *Automaton {
 			}
 		}
 	}
-	return a
+	return a, ""
 }
 
 // Start returns the state of the virtual document root.

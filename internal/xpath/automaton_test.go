@@ -1,6 +1,9 @@
 package xpath
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // path builds a Path from steps.
 func path(steps ...Step) Path { return Path{Steps: steps} }
@@ -164,6 +167,19 @@ func TestAutomatonEmptyPathRole(t *testing.T) {
 func TestAutomatonAttributeDisables(t *testing.T) {
 	if a := CompileAutomaton([]Path{path(ChildStep("a"), AttributeStep("id"))}); a != nil {
 		t.Fatal("attribute paths must disable the automaton")
+	}
+}
+
+// TestCompileAutomatonReason: the diagnosis names the offending axis on
+// failure and is empty on success (Plan.Explain's "Skipping:" line).
+func TestCompileAutomatonReason(t *testing.T) {
+	a, reason := CompileAutomatonReason([]Path{path(ChildStep("a"), AttributeStep("id"))})
+	if a != nil || !strings.Contains(reason, "attribute") {
+		t.Fatalf("want nil automaton and an attribute-axis reason, got %v %q", a, reason)
+	}
+	a, reason = CompileAutomatonReason([]Path{path(ChildStep("a"), ChildStep("b"))})
+	if a == nil || reason != "" {
+		t.Fatalf("want automaton and empty reason, got %v %q", a, reason)
 	}
 }
 
