@@ -1,0 +1,127 @@
+package gcx_test
+
+// Runtime node-budget enforcement (Options.MaxBufferedNodes): every
+// engine and execution mode must trip gracefully with ErrBufferBudget
+// instead of buffering past the budget, and strict compilation must
+// reject statically-unbounded queries up front.
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"gcx"
+	"gcx/internal/xmark"
+)
+
+func budgetInput(t *testing.T) string {
+	t.Helper()
+	input, _, err := xmark.GenerateString(xmark.Config{TargetBytes: 64 << 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return input
+}
+
+func TestBudgetTripStreaming(t *testing.T) {
+	input := budgetInput(t)
+	q := gcx.MustCompile(xmark.Queries["Q1"].Text)
+
+	res, err := q.Execute(strings.NewReader(input), io.Discard, gcx.Options{MaxBufferedNodes: 4})
+	if !errors.Is(err, gcx.ErrBufferBudget) {
+		t.Fatalf("want ErrBufferBudget, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("budget trip must still return the partial-run statistics")
+	}
+	if res.PeakBufferedNodes == 0 {
+		t.Errorf("partial result carries no watermark: %+v", res)
+	}
+
+	// A budget above the static bound never trips.
+	res, err = q.Execute(strings.NewReader(input), io.Discard, gcx.Options{MaxBufferedNodes: 1 << 20})
+	if err != nil {
+		t.Fatalf("generous budget tripped: %v", err)
+	}
+	if res.PeakBufferedNodes > 1<<20 {
+		t.Errorf("peak %d above budget", res.PeakBufferedNodes)
+	}
+}
+
+func TestBudgetTripProjectionOnly(t *testing.T) {
+	// Projection-only never purges, so even Q1 overruns a small budget.
+	input := budgetInput(t)
+	q := gcx.MustCompile(xmark.Queries["Q1"].Text)
+	_, err := q.Execute(strings.NewReader(input), io.Discard,
+		gcx.Options{Engine: gcx.EngineProjectionOnly, MaxBufferedNodes: 32})
+	if !errors.Is(err, gcx.ErrBufferBudget) {
+		t.Fatalf("want ErrBufferBudget, got %v", err)
+	}
+}
+
+func TestBudgetTripDOM(t *testing.T) {
+	input := budgetInput(t)
+	q := gcx.MustCompile(xmark.Queries["Q1"].Text)
+	_, err := q.Execute(strings.NewReader(input), io.Discard,
+		gcx.Options{Engine: gcx.EngineDOM, MaxBufferedNodes: 32})
+	if !errors.Is(err, gcx.ErrBufferBudget) {
+		t.Fatalf("want ErrBufferBudget, got %v", err)
+	}
+}
+
+func TestBudgetTripSharded(t *testing.T) {
+	input := budgetInput(t)
+	q := gcx.MustCompile(xmark.Queries["Q1"].Text)
+	if !q.Shardable() {
+		t.Fatal("Q1 must be shardable")
+	}
+	_, err := q.Execute(strings.NewReader(input), io.Discard,
+		gcx.Options{Shards: 4, MaxBufferedNodes: 4})
+	if !errors.Is(err, gcx.ErrBufferBudget) {
+		t.Fatalf("sharded run: want ErrBufferBudget, got %v", err)
+	}
+
+	// Per-worker budget: a budget that is generous per worker passes.
+	res, err := q.Execute(strings.NewReader(input), io.Discard,
+		gcx.Options{Shards: 4, MaxBufferedNodes: 1 << 20})
+	if err != nil {
+		t.Fatalf("generous sharded budget tripped: %v", err)
+	}
+	if res.ShardsUsed < 1 {
+		t.Errorf("ShardsUsed = %d", res.ShardsUsed)
+	}
+}
+
+func TestBudgetTripNDJSON(t *testing.T) {
+	input, _, err := xmark.GenerateNDJSONString(xmark.Config{TargetBytes: 32 << 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := gcx.MustCompile(xmark.NDJSONQueries["J1"].Text)
+	_, err = q.Execute(strings.NewReader(input), io.Discard,
+		gcx.Options{Format: gcx.FormatNDJSON, MaxBufferedNodes: 2})
+	if !errors.Is(err, gcx.ErrBufferBudget) {
+		t.Fatalf("ndjson: want ErrBufferBudget, got %v", err)
+	}
+}
+
+func TestStrictCompileRejectsUnbounded(t *testing.T) {
+	// Q8 is the join: statically unbounded, rejected up front.
+	_, err := gcx.CompileWithOptions(xmark.Queries["Q8"].Text,
+		gcx.CompileOptions{StrictStreaming: true})
+	if err == nil {
+		t.Fatal("strict compile accepted the Q8 join")
+	}
+	if !strings.Contains(err.Error(), "strict streaming") || !strings.Contains(err.Error(), "join") {
+		t.Errorf("rejection does not carry the analyzer's reason: %v", err)
+	}
+
+	// Bounded queries compile unchanged under strict mode.
+	for _, id := range []string{"Q1", "Q17"} {
+		if _, err := gcx.CompileWithOptions(xmark.Queries[id].Text,
+			gcx.CompileOptions{StrictStreaming: true}); err != nil {
+			t.Errorf("%s: strict compile rejected a bounded query: %v", id, err)
+		}
+	}
+}

@@ -6,7 +6,10 @@
 //
 //	gcx -q '<out>{ for $b in /bib/book return $b/title }</out>' -i bib.xml
 //	gcx -f query.xq -i big.xml -o result.xml -stats
-//	gcx -f query.xq -explain            # roles + rewritten query
+//	gcx -f query.xq -explain            # analyzer report: roles, rewritten query, streamability
+//	gcx -f query.xq -explain-json       # the same report as JSON
+//	gcx -f query.xq -i big.xml -max-nodes 100000    # abort instead of buffering past the budget
+//	gcx -f query.xq -strict             # refuse statically unbounded queries
 //	gcx -f join.xq -i doc.xml -engine dom   # full-buffering baseline
 //	gcx -f query.xq -i big.xml -shards 8    # sharded data-parallel run
 //	gcx -q 'for $r in /root/record return $r/name' -i events.ndjson
@@ -18,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,19 +45,22 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs := flag.NewFlagSet("gcx", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		queryText  = fs.String("q", "", "query text")
-		queryFile  = fs.String("f", "", "file containing the query")
-		inputFile  = fs.String("i", "", "input XML document (default stdin)")
-		outputFile = fs.String("o", "", "output file (default stdout)")
-		engineName = fs.String("engine", "gcx", "engine: gcx, projection (no GC) or dom (full buffering)")
-		formatName = fs.String("format", "auto", "input format: auto, xml, json or ndjson (auto uses the -i extension, then sniffs the first byte)")
-		mode       = fs.String("mode", "deferred", "sign-off mode: deferred or eager")
-		agg        = fs.Bool("agg", false, "enable the aggregation extension (count/sum/min/max/avg)")
-		explain    = fs.Bool("explain", false, "print roles and the rewritten query, then exit")
-		showStats  = fs.Bool("stats", false, "print run statistics to stderr")
-		plotEvery  = fs.Int64("plot", 0, "emit a buffer plot sample to stderr every N tokens")
-		shards     = fs.Int("shards", 1, "parallel engine instances for partitionable queries (0/1 = sequential)")
-		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		queryText   = fs.String("q", "", "query text")
+		queryFile   = fs.String("f", "", "file containing the query")
+		inputFile   = fs.String("i", "", "input XML document (default stdin)")
+		outputFile  = fs.String("o", "", "output file (default stdout)")
+		engineName  = fs.String("engine", "gcx", "engine: gcx, projection (no GC) or dom (full buffering)")
+		formatName  = fs.String("format", "auto", "input format: auto, xml, json or ndjson (auto uses the -i extension, then sniffs the first byte)")
+		mode        = fs.String("mode", "deferred", "sign-off mode: deferred or eager")
+		agg         = fs.Bool("agg", false, "enable the aggregation extension (count/sum/min/max/avg)")
+		explain     = fs.Bool("explain", false, "print the analyzer report (roles, rewritten query, streamability, bound), then exit")
+		explainJSON = fs.Bool("explain-json", false, "like -explain, but print the structured report as JSON")
+		maxNodes    = fs.Int64("max-nodes", 0, "node budget: abort with an error if the buffer would exceed this many nodes (0 = unlimited; per worker under -shards)")
+		strict      = fs.Bool("strict", false, "reject statically unbounded queries at compile time")
+		showStats   = fs.Bool("stats", false, "print run statistics to stderr")
+		plotEvery   = fs.Int64("plot", 0, "emit a buffer plot sample to stderr every N tokens")
+		shards      = fs.Int("shards", 1, "parallel engine instances for partitionable queries (0/1 = sequential)")
+		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,9 +83,17 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return 2
 	}
 
-	q, err := gcx.Compile(src)
+	q, err := gcx.CompileWithOptions(src, gcx.CompileOptions{StrictStreaming: *strict})
 	if err != nil {
 		return fail(stderr, err)
+	}
+	if *explainJSON {
+		raw, err := json.MarshalIndent(q.Report(), "", "  ")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "%s\n", raw)
+		return 0
 	}
 	if *explain {
 		fmt.Fprint(stdout, q.Explain())
@@ -114,7 +129,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		format = gcx.DetectPathFormat(*inputFile)
 	}
 
-	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards, Format: format}
+	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards, Format: format, MaxBufferedNodes: *maxNodes}
 	switch *engineName {
 	case "gcx":
 		opts.Engine = gcx.EngineGCX

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -157,5 +158,51 @@ func TestRunCancelledContext(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "canceled") {
 		t.Fatalf("stderr = %q, want cancellation error", errb.String())
+	}
+}
+
+func TestRunExplainJSON(t *testing.T) {
+	code, out, stderr := runCmd(t, []string{"-q", `<out>{ for $b in /bib/book return $b/title }</out>`, "-explain-json"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-explain-json did not print JSON: %v\n%s", err, out)
+	}
+	if rep["streamability"] != "bounded-constant" {
+		t.Errorf("streamability = %v", rep["streamability"])
+	}
+	if rep["static_bound"] == nil {
+		t.Errorf("bounded query report misses static_bound:\n%s", out)
+	}
+}
+
+func TestRunMaxNodes(t *testing.T) {
+	query := `<out>{ for $b in /bib/book return $b/title }</out>`
+	code, _, stderr := runCmd(t, []string{"-q", query, "-max-nodes", "1"}, testDoc)
+	if code != 1 || !strings.Contains(stderr, "budget") {
+		t.Fatalf("tiny budget: exit %d, stderr %q", code, stderr)
+	}
+	code, out, stderr := runCmd(t, []string{"-q", query, "-max-nodes", "100000"}, testDoc)
+	if code != 0 {
+		t.Fatalf("generous budget: exit %d, stderr %q", code, stderr)
+	}
+	if want := "<out><title>A</title></out>\n"; out != want {
+		t.Fatalf("stdout = %q, want %q", out, want)
+	}
+}
+
+func TestRunStrict(t *testing.T) {
+	join := `<out>{ for $b in /bib/book return for $a in /bib/article return $a/title }</out>`
+	code, _, stderr := runCmd(t, []string{"-q", join, "-strict"}, testDoc)
+	if code != 1 || !strings.Contains(stderr, "strict streaming") {
+		t.Fatalf("strict join: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCmd(t, []string{"-q", join}, testDoc); code != 0 {
+		t.Fatalf("join without -strict must still run: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCmd(t, []string{"-q", `<out>{ for $b in /bib/book return $b/title }</out>`, "-strict"}, testDoc); code != 0 {
+		t.Fatalf("bounded query under -strict: exit %d, stderr %q", code, stderr)
 	}
 }

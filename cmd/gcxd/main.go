@@ -17,8 +17,10 @@
 // Endpoints:
 //
 //	POST /query   evaluate a query (see below)
+//	GET  /explain compile a query and return its analyzer report as JSON
 //	GET  /healthz liveness probe
-//	GET  /stats   JSON counters: requests, cache hits/misses, bytes out
+//	GET  /stats   JSON counters: requests, cache hits/misses, bytes out,
+//	              buffer watermarks, budget rejections/trips
 //
 // POST /query reads the query text from the X-GCX-Query header or the
 // "query" URL parameter, and the input document from the request body.
@@ -29,10 +31,20 @@
 // to one, see DESIGN.md §6), format=auto|xml|json|ndjson (default auto)
 // to select the input syntax — JSON/NDJSON bodies stream back as JSON
 // lines (DESIGN.md §8), and format=ndjson additionally enables
-// newline-boundary sharding for eligible queries. Execution statistics
-// arrive as HTTP trailers (X-Gcx-Tokens, X-Gcx-Peak-Nodes,
-// X-Gcx-Shards); an error after streaming has begun is reported in the
-// X-Gcx-Error trailer, since the status line is already on the wire.
+// newline-boundary sharding for eligible queries. max_nodes=N sets the
+// per-worker buffer node budget (DESIGN.md §9): statically-unbounded
+// queries are rejected up front with 413 and the analyzer's reason, and
+// a runtime overrun aborts the run with 413 (or the X-Gcx-Error trailer
+// once streaming has begun) instead of buffering without limit.
+// Execution statistics arrive as HTTP trailers (X-Gcx-Tokens,
+// X-Gcx-Peak-Nodes, X-Gcx-Peak-Bytes, X-Gcx-Shards); an error after
+// streaming has begun is reported in the X-Gcx-Error trailer, since the
+// status line is already on the wire.
+//
+// GET /explain takes the same query sources (X-GCX-Query header or
+// ?query=) and returns the structured gcx.ExplainReport — projection
+// roles, rewritten query, streamability class with its static node
+// bound, skip and shard verdicts — without executing anything.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries for up to -drain before exiting.
@@ -41,6 +53,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -128,6 +141,37 @@ type server struct {
 	// jsonRequests counts requests that selected the JSON/NDJSON front
 	// end via ?format= (DESIGN.md §8).
 	jsonRequests atomic.Int64
+
+	// Budget accounting (DESIGN.md §9): requests rejected at admission
+	// because a ?max_nodes= budget met a statically-unbounded query, and
+	// runs aborted because the buffer hit the budget at runtime.
+	budgetRejections atomic.Int64
+	budgetTrips      atomic.Int64
+
+	// Lifetime buffer high-water marks across all requests, in the
+	// engine's node/byte metrics.
+	peakNodes atomic.Int64
+	peakBytes atomic.Int64
+}
+
+// observePeaks folds one run's buffer watermarks into the server-wide
+// high-water marks (atomic compare-and-swap max).
+func (s *server) observePeaks(res *gcx.Result) {
+	if res == nil {
+		return
+	}
+	for {
+		cur := s.peakNodes.Load()
+		if res.PeakBufferedNodes <= cur || s.peakNodes.CompareAndSwap(cur, res.PeakBufferedNodes) {
+			break
+		}
+	}
+	for {
+		cur := s.peakBytes.Load()
+		if res.PeakBufferedBytes <= cur || s.peakBytes.CompareAndSwap(cur, res.PeakBufferedBytes) {
+			break
+		}
+	}
 }
 
 func newServer(cacheSize int) *server {
@@ -136,6 +180,7 @@ func newServer(cacheSize int) *server {
 		cache: gcx.NewQueryCache(cacheSize),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
@@ -181,6 +226,13 @@ func optionsFromRequest(r *http.Request) (gcx.Options, error) {
 		return opts, err
 	}
 	opts.Format = format
+	if mn := r.URL.Query().Get("max_nodes"); mn != "" {
+		n, err := strconv.ParseInt(mn, 10, 64)
+		if err != nil || n < 1 {
+			return opts, fmt.Errorf("invalid max_nodes %q (want a positive node count)", mn)
+		}
+		opts.MaxBufferedNodes = n
+	}
 	return opts, nil
 }
 
@@ -235,14 +287,32 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "compile error: "+err.Error())
 		return
 	}
+	if opts.MaxBufferedNodes > 0 {
+		// Admission control: a budget-carrying request with a query the
+		// analyzer proved unbounded can only end in a mid-stream abort,
+		// so reject it up front with the analyzer's reason.
+		if rep := q.Report(); rep.Streamability == "unbounded" {
+			s.budgetRejections.Add(1)
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				"query is statically unbounded and cannot run under max_nodes: "+rep.StreamabilityReason)
+			return
+		}
+	}
 
 	w.Header().Set("Content-Type", contentType(opts.Format))
-	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Shards, X-Gcx-Bytes-Skipped")
+	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Peak-Bytes, X-Gcx-Shards, X-Gcx-Bytes-Skipped")
 	cw := &countingWriter{w: w}
 	res, err := q.ExecuteContext(r.Context(), r.Body, cw, opts)
 	s.bytesOut.Add(cw.n)
 	if err != nil {
-		if cw.n == 0 {
+		s.observePeaks(res) // budget trips still report the partial run's watermark
+		if errors.Is(err, gcx.ErrBufferBudget) {
+			s.budgetTrips.Add(1)
+			if cw.n == 0 {
+				s.fail(w, http.StatusRequestEntityTooLarge, "buffer budget exceeded: "+err.Error())
+				return
+			}
+		} else if cw.n == 0 {
 			// Nothing streamed yet: the status line is still ours.
 			s.fail(w, http.StatusUnprocessableEntity, "execution error: "+err.Error())
 			return
@@ -251,6 +321,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Gcx-Error", err.Error())
 		return
 	}
+	s.observePeaks(res)
 	if opts.Shards > 1 {
 		s.shardedRequests.Add(1)
 		s.shardWorkers.Add(int64(res.ShardsUsed))
@@ -266,8 +337,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Gcx-Tokens", fmt.Sprint(res.TokensProcessed))
 	w.Header().Set("X-Gcx-Peak-Nodes", fmt.Sprint(res.PeakBufferedNodes))
+	w.Header().Set("X-Gcx-Peak-Bytes", fmt.Sprint(res.PeakBufferedBytes))
 	w.Header().Set("X-Gcx-Shards", fmt.Sprint(res.ShardsUsed))
 	w.Header().Set("X-Gcx-Bytes-Skipped", fmt.Sprint(res.BytesSkipped))
+}
+
+// handleExplain compiles the query and returns the analyzer's
+// structured report without executing it — the server-side form of
+// `gcx -explain-json`.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	src := r.Header.Get("X-GCX-Query")
+	if src == "" {
+		src = r.URL.Query().Get("query")
+	}
+	if src == "" {
+		s.fail(w, http.StatusBadRequest, "missing query: pass the X-GCX-Query header or the ?query= parameter")
+		return
+	}
+	q, err := s.cache.Get(src)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "compile error: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(q.Report())
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, msg string) {
@@ -297,5 +391,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bytes_skipped":    s.bytesSkipped.Load(),
 		"subtrees_skipped": s.subtreesSkipped.Load(),
 		"json_requests":    s.jsonRequests.Load(),
+		// Buffer watermarks and budget accounting (DESIGN.md §9).
+		"peak_buffered_nodes": s.peakNodes.Load(),
+		"peak_buffered_bytes": s.peakBytes.Load(),
+		"budget_rejections":   s.budgetRejections.Load(),
+		"budget_trips":        s.budgetTrips.Load(),
 	})
 }

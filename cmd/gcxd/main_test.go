@@ -341,3 +341,123 @@ func TestServerHealthz(t *testing.T) {
 		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
 }
+
+// TestServerBudget covers the node-budget path end to end: admission
+// control for statically-unbounded queries, graceful runtime trips, and
+// the budget counters plus peak watermarks in /stats.
+func TestServerBudget(t *testing.T) {
+	ts := httptest.NewServer(newServer(8))
+	defer ts.Close()
+
+	doc := testDoc(0, 40)
+
+	// A generous budget runs normally and reports its watermark.
+	resp, body := postQuery(t, ts.URL, testQuery, doc, "max_nodes=100000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generous budget: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Trailer.Get("X-Gcx-Peak-Nodes") == "" || resp.Trailer.Get("X-Gcx-Peak-Bytes") == "" {
+		t.Errorf("missing peak trailers: %+v", resp.Trailer)
+	}
+
+	// A tiny budget trips at runtime. Depending on whether output hit
+	// the wire first, that surfaces as a 413 status or as an X-Gcx-Error
+	// trailer — either way the run aborts instead of buffering on.
+	resp, body = postQuery(t, ts.URL, testQuery, doc, "max_nodes=2")
+	tripped := resp.StatusCode == http.StatusRequestEntityTooLarge ||
+		strings.Contains(resp.Trailer.Get("X-Gcx-Error"), "budget")
+	if !tripped {
+		t.Fatalf("tiny budget did not trip: status %d, trailer %q, body %q",
+			resp.StatusCode, resp.Trailer.Get("X-Gcx-Error"), body)
+	}
+
+	// A statically-unbounded query under a budget is rejected up front
+	// with the analyzer's reason.
+	join := `<out>{ for $b in /bib/book return for $a in /bib/book return $a/title }</out>`
+	resp, body = postQuery(t, ts.URL, join, doc, "max_nodes=100000")
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("unbounded+budget: status %d, want 413: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "statically unbounded") || !strings.Contains(body, "join") {
+		t.Errorf("rejection does not carry the analyzer's reason: %s", body)
+	}
+	// Without a budget the same join is admitted.
+	if resp, body = postQuery(t, ts.URL, join, doc, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("join without budget: status %d: %s", resp.StatusCode, body)
+	}
+
+	var stats struct {
+		PeakNodes        int64 `json:"peak_buffered_nodes"`
+		PeakBytes        int64 `json:"peak_buffered_bytes"`
+		BudgetRejections int64 `json:"budget_rejections"`
+		BudgetTrips      int64 `json:"budget_trips"`
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BudgetRejections != 1 {
+		t.Errorf("budget_rejections = %d, want 1", stats.BudgetRejections)
+	}
+	if stats.BudgetTrips != 1 {
+		t.Errorf("budget_trips = %d, want 1", stats.BudgetTrips)
+	}
+	if stats.PeakNodes <= 0 || stats.PeakBytes <= 0 {
+		t.Errorf("lifetime watermarks not recorded: nodes=%d bytes=%d", stats.PeakNodes, stats.PeakBytes)
+	}
+
+	// Bad max_nodes values are usage errors.
+	if resp, _ := postQuery(t, ts.URL, testQuery, doc, "max_nodes=0"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("max_nodes=0: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postQuery(t, ts.URL, testQuery, doc, "max_nodes=soon"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("max_nodes=soon: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerExplain drives the /explain endpoint: a structured report
+// for good queries, 400 for bad ones, no execution either way.
+func TestServerExplain(t *testing.T) {
+	ts := httptest.NewServer(newServer(8))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/explain?query=" + url.QueryEscape(xmark.Queries["Q1"].Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var rep gcx.ExplainReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streamability != "bounded-constant" || rep.StaticBound == nil || len(rep.Roles) == 0 {
+		t.Errorf("incomplete report: %+v", rep)
+	}
+
+	bad, err := http.Get(ts.URL + "/explain?query=" + url.QueryEscape("for $x in"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("compile error: status %d, want 400", bad.StatusCode)
+	}
+	missing, err := http.Get(ts.URL + "/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query: status %d, want 400", missing.StatusCode)
+	}
+}

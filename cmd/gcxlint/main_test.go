@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRepoClean(t *testing.T) {
+	// From this package's directory the module root is two levels up;
+	// the ./... alias must resolve it the same way.
+	for _, args := range [][]string{{"../.."}, {"./..."}} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 0 {
+			t.Errorf("args %v: exit %d\nstdout: %s\nstderr: %s", args, code, out.String(), errb.String())
+		}
+	}
+}
+
+func TestRunSeededViolations(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-passes", "ctxpoll", "../../internal/lint/testdata/ctxpoll"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 on findings\nstderr: %s", code, errb.String())
+	}
+	if got := strings.Count(out.String(), "ctxpoll:"); got != 2 {
+		t.Errorf("reported %d findings, want 2:\n%s", got, out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-passes", "bogus"},
+		{"a", "b"},
+		{"/nonexistent-root-without-gomod"},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}

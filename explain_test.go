@@ -1,0 +1,81 @@
+package gcx_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gcx"
+	"gcx/internal/xmark"
+)
+
+// TestExplainGolden pins the legacy text form of Query.Explain for
+// XMark Q1. Explain is generated from the structured ExplainReport
+// (single source of truth); this golden keeps the rendered layout — and
+// with it the skip/shard/streamability verdict strings other tools grep
+// for — from drifting silently. Regenerate with
+// UPDATE_GOLDEN=1 go test -run TestExplainGolden .
+func TestExplainGolden(t *testing.T) {
+	q, err := gcx.Compile(xmark.Queries["Q1"].Text)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	got := q.Explain()
+	golden := filepath.Join("testdata", "explain_q1.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Explain drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainReportJSONRoundTrip: the report marshals, parses back, and
+// still renders the identical text — so the JSON wire form (gcxd
+// /explain, gcx -explain-json) carries everything the text form shows.
+func TestExplainReportJSONRoundTrip(t *testing.T) {
+	for _, id := range []string{"Q1", "Q8", "Q17", "Q6count"} {
+		q, err := gcx.Compile(xmark.Queries[id].Text)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", id, err)
+		}
+		rep := q.Report()
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", id, err)
+		}
+		var back gcx.ExplainReport
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", id, err)
+		}
+		if back.Text() != q.Explain() {
+			t.Errorf("%s: text rendered from the JSON round trip differs from Explain", id)
+		}
+		if rep.Streamability == "" || rep.StreamabilityReason == "" {
+			t.Errorf("%s: report misses streamability fields: %+v", id, rep)
+		}
+	}
+}
+
+// TestReportBoundPresence: bounded classes carry a bound, unbounded
+// does not.
+func TestReportBoundPresence(t *testing.T) {
+	bounded := gcx.MustCompile(xmark.Queries["Q1"].Text).Report()
+	if bounded.StaticBound == nil || bounded.StaticBound.Expr == "" {
+		t.Errorf("Q1: missing static bound: %+v", bounded.StaticBound)
+	}
+	unbounded := gcx.MustCompile(xmark.Queries["Q8"].Text).Report()
+	if unbounded.Streamability != "unbounded" || unbounded.StaticBound != nil {
+		t.Errorf("Q8: want unbounded without bound, got %q %+v", unbounded.Streamability, unbounded.StaticBound)
+	}
+}

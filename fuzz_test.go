@@ -1,0 +1,81 @@
+package gcx_test
+
+// FuzzStreamBound fuzzes the streamability contract itself: for random
+// well-formed queries and random documents, a statically-Unbounded
+// verdict must make strict compilation reject, and a bounded verdict
+// must make the runtime watermark respect the static node budget. The
+// generator is biased toward single-root-loop pipelines so both sides
+// of the contract are exercised.
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gcx"
+	"gcx/internal/analysis"
+	"gcx/internal/core"
+	"gcx/internal/dom"
+	"gcx/internal/xqgen"
+)
+
+func FuzzStreamBound(f *testing.F) {
+	for i := int64(0); i < 8; i++ {
+		f.Add(i, i*31+7)
+	}
+	f.Fuzz(func(t *testing.T, qseed, dseed int64) {
+		opts := xqgen.DefaultOptions()
+		opts.SingleRootLoop = true
+		src := xqgen.Query(rand.New(rand.NewSource(qseed)), opts)
+		doc := xqgen.Document(rand.New(rand.NewSource(dseed)))
+
+		plan, err := core.CompileWithOptions(src, analysis.Options{})
+		if err != nil {
+			t.Fatalf("generated query does not compile: %v\n%s", err, src)
+		}
+		st := plan.Stream
+
+		_, strictErr := gcx.CompileWithOptions(src, gcx.CompileOptions{StrictStreaming: true})
+		if st.Class == analysis.Unbounded {
+			if strictErr == nil {
+				t.Fatalf("strict compile accepted a statically unbounded query (%s)\n%s", st.Reason, src)
+			}
+			return
+		}
+		if strictErr != nil {
+			t.Fatalf("strict compile rejected a bounded query (%v)\n%s", strictErr, src)
+		}
+
+		// Measure the record term on the materialized document; a record
+		// path that matches nothing contributes zero.
+		var rec int64
+		if st.Bound.RecordFactor > 0 {
+			d, err := dom.Parse(strings.NewReader(doc))
+			if err != nil {
+				t.Fatalf("parse generated doc: %v", err)
+			}
+			for _, n := range dom.Select(d.Root, st.Bound.RecordPath) {
+				if c := subtreeNodes(n); c > rec {
+					rec = c
+				}
+			}
+		}
+		bound := st.Bound.Eval(rec)
+
+		q, err := gcx.CompileWithOptions(src, gcx.CompileOptions{})
+		if err != nil {
+			t.Fatalf("compile: %v\n%s", err, src)
+		}
+		res, err := q.ExecuteContext(context.Background(), strings.NewReader(doc), io.Discard,
+			gcx.Options{EnableAggregation: true})
+		if err != nil {
+			t.Fatalf("execute: %v\nquery: %s\ndoc: %s", err, src, doc)
+		}
+		if res.PeakBufferedNodes > bound {
+			t.Errorf("peak %d exceeds static bound %d (%s, class %s, record %d)\nquery: %s\ndoc: %s",
+				res.PeakBufferedNodes, bound, st.Bound, st.Class, rec, src, doc)
+		}
+	})
+}

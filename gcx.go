@@ -35,10 +35,19 @@ import (
 	"time"
 
 	"gcx/internal/analysis"
+	"gcx/internal/buffer"
 	"gcx/internal/core"
 	"gcx/internal/engine"
 	"gcx/internal/shard"
 )
+
+// ErrBufferBudget is the sentinel returned (wrapped, with the concrete
+// numbers) when a run's buffer population crosses
+// Options.MaxBufferedNodes: the engine degrades gracefully within one
+// token of the breach instead of buffering without bound. Match with
+// errors.Is. For the sequential streaming engines the partial Result is
+// returned alongside the error.
+var ErrBufferBudget = buffer.ErrBudget
 
 // Engine selects the buffering discipline of Execute.
 type Engine int
@@ -179,6 +188,17 @@ type Options struct {
 	// whole-input aggregation — see Query.Shardable) and runs with
 	// RecordEvery set fall back to sequential execution transparently.
 	Shards int
+	// MaxBufferedNodes, when positive, is the run's node budget
+	// (DESIGN.md §9): the first buffered node pushing the population
+	// past it aborts the run within one token with an error wrapping
+	// ErrBufferBudget — graceful degradation instead of unbounded
+	// memory. Sequential streaming runs return the partial Result
+	// alongside the error. Sharded runs apply the budget per worker
+	// (each shard is an independent engine instance), so the run's
+	// total is bounded by Shards×MaxBufferedNodes. Zero means
+	// unlimited. Query.Report says, per query, whether a budget can
+	// statically be guaranteed to suffice — see ExplainReport.
+	MaxBufferedNodes int64
 }
 
 // Role describes one projection path derived by static analysis.
@@ -278,6 +298,13 @@ type CompileOptions struct {
 	// the relevance model of simpler streaming systems. For ablation
 	// measurements only.
 	CoarseGranularity bool
+	// StrictStreaming rejects queries the static analyzer classifies
+	// as Unbounded (joins, whole-input aggregation, absolute-path
+	// outputs — DESIGN.md §9) at compile time, with the analyzer's
+	// reason. Use it where a runtime node budget will be enforced:
+	// an Unbounded query would only ever trip the budget on real
+	// inputs, so strict mode fails fast instead.
+	StrictStreaming bool
 }
 
 // Compile parses and statically analyzes a query: normalization to the
@@ -295,6 +322,9 @@ func CompileWithOptions(src string, opts CompileOptions) (*Query, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.StrictStreaming && plan.Stream.Class == analysis.Unbounded {
+		return nil, fmt.Errorf("gcx: strict streaming rejects statically unbounded query: %s", plan.Stream.Reason)
 	}
 	q := &Query{plan: plan}
 	q.shardInfo, q.shardReason = analysis.Shardable(plan)
@@ -325,22 +355,13 @@ func (q *Query) Roles() []Role {
 	return roles
 }
 
-// Explain renders the role browser and the rewritten query with its
-// signOff statements — the textual counterpart of the demo's Fig. 3(a)
-// visualization — plus the sharding verdict.
-func (q *Query) Explain() string {
-	s := q.plan.Explain()
-	if q.shardInfo != nil {
-		s += "\nSharding: partitionable on " + q.shardInfo.PartitionPath.String()
-		if r := analysis.NDJSONShardable(q.shardInfo); r != "" {
-			s += " (ndjson: sequential only — " + r + ")"
-		} else {
-			s += " (ndjson: eligible)"
-		}
-		return s + "\n"
-	}
-	return s + "\nSharding: sequential only (" + q.shardReason + ")\n"
-}
+// Explain renders the analyzer's verdicts as text: the role browser and
+// the rewritten query with its signOff statements — the textual
+// counterpart of the demo's Fig. 3(a) visualization — plus the
+// streamability, static-bound, skipping and sharding lines. It is
+// generated from the structured Report (ExplainReport.Text), so the two
+// forms cannot drift.
+func (q *Query) Explain() string { return q.Report().Text() }
 
 // Shardable reports whether the query can run sharded (DESIGN.md §6):
 // partitionable on its outermost for-loop path, with no state shared
@@ -370,6 +391,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		DisableSkip:       opts.DisableSubtreeSkip,
 		RecordEvery:       opts.RecordEvery,
 		Format:            opts.Format.core(),
+		MaxBufferedNodes:  opts.MaxBufferedNodes,
 	}
 	switch opts.Engine {
 	case EngineGCX:
@@ -421,9 +443,11 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		}, nil
 	}
 	res, err := core.ExecuteContext(ctx, q.plan, input, output, execOpts)
-	if err != nil {
+	if err != nil && res == nil {
 		return nil, err
 	}
+	// A node-budget breach (err wrapping ErrBufferBudget) still carries
+	// the partial statistics; both are returned.
 	out := &Result{
 		TokensProcessed:    res.TokensProcessed,
 		PeakBufferedNodes:  res.PeakBufferedNodes,
@@ -441,7 +465,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 	for _, p := range res.Series {
 		out.Series = append(out.Series, SeriesPoint{Token: p.Token, Nodes: p.Nodes, Bytes: p.Bytes})
 	}
-	return out, nil
+	return out, err
 }
 
 // formatShardable reports whether sharded execution is available for

@@ -11,7 +11,6 @@ package analysis
 
 import (
 	"fmt"
-	"strings"
 
 	"gcx/internal/xpath"
 	"gcx/internal/xqast"
@@ -103,6 +102,10 @@ type Plan struct {
 	// Opts are the analysis switches the plan was compiled with, kept so
 	// derived plans (sharding) reuse the same analysis.
 	Opts Options
+	// Stream is the compile-time streamability verdict: the lattice
+	// class, the analyzer's reason, and (for bounded classes) the
+	// static node budget. See streamability.go / DESIGN.md §9.
+	Stream StreamInfo
 }
 
 // RolePaths returns the projection paths indexed by role id, the input
@@ -113,28 +116,6 @@ func (p *Plan) RolePaths() []xpath.Path {
 		paths[i] = r.Path
 	}
 	return paths
-}
-
-// Explain renders the role browser and the rewritten query, the textual
-// equivalent of the paper's Figure 3(a).
-func (p *Plan) Explain() string {
-	var b strings.Builder
-	b.WriteString("Roles (projection paths):\n")
-	for _, r := range p.Roles {
-		fmt.Fprintf(&b, "  %-4s %-55s (%s: %s)\n", r.Name()+":", r.Path.String(), r.Kind, r.Provenance)
-	}
-	b.WriteString("\nRewritten query with signOff statements:\n")
-	b.WriteString(xqast.Print(p.Rewritten))
-	// The skipping verdict mirrors the shardability line: when the
-	// automaton could not be compiled, say why instead of silently
-	// running without fast-forwards (DESIGN.md §7).
-	if p.Automaton != nil {
-		b.WriteString("\nSkipping: byte-level subtree skipping active" +
-			" (disabled per run by DisableSubtreeSkip or RecordEvery)\n")
-	} else {
-		b.WriteString("\nSkipping: disabled (" + p.SkipReason + ")\n")
-	}
-	return b.String()
 }
 
 // Options tunes the static analysis (ablation switches; the defaults
@@ -183,5 +164,6 @@ func AnalyzeWithOptions(q *xqast.Query, opts Options) (*Plan, error) {
 		Opts:            opts,
 	}
 	plan.Automaton, plan.SkipReason = xpath.CompileAutomatonReason(plan.RolePaths())
+	plan.Stream = Streamability(plan)
 	return plan, nil
 }

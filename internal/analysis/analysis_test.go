@@ -371,14 +371,22 @@ func TestNormalizeErrors(t *testing.T) {
 	}
 }
 
-// TestExplainOutput: the role browser lists every role with its path.
-func TestExplainOutput(t *testing.T) {
+// TestPlanReportInputs: every field the public ExplainReport renders
+// from (the text form now lives in the root package as
+// ExplainReport.Text, single source of truth) is populated by analysis.
+func TestPlanReportInputs(t *testing.T) {
 	plan := mustAnalyze(t, PaperQuery)
-	out := plan.Explain()
-	for _, want := range []string{"r1:", "r4:", "/bib/*/price[1]", "signOff($bib, r2)", "Rewritten query"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("Explain missing %q", want)
-		}
+	if len(plan.Roles) == 0 {
+		t.Fatal("no roles")
+	}
+	if !strings.Contains(xqast.Print(plan.Rewritten), "signOff($bib, r2)") {
+		t.Error("rewritten query misses signOff($bib, r2)")
+	}
+	if plan.Stream.Reason == "" {
+		t.Error("empty streamability reason")
+	}
+	if plan.Automaton == nil && plan.SkipReason == "" {
+		t.Error("nil automaton without a skip reason")
 	}
 }
 

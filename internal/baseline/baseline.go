@@ -36,19 +36,22 @@ func RunDOM(plan *analysis.Plan, input io.Reader, output io.Writer, enableAggreg
 	sink := xmltok.NewSerializer(output)
 	defer src.Release()
 	defer sink.Release()
-	return RunDOMSource(context.Background(), plan, src, sink, enableAggregation)
+	return RunDOMSource(context.Background(), plan, src, sink, enableAggregation, 0)
 }
 
 // RunDOMSource evaluates the plan's normalized query over a fully
 // buffered document read from an arbitrary event source, under a
 // cancellation context: parsing aborts at token-pull boundaries,
-// evaluation between loop iterations. The caller owns src and sink and
-// releases them after the call.
-func RunDOMSource(ctx context.Context, plan *analysis.Plan, src event.Source, out event.Sink, enableAggregation bool) (*engine.Result, error) {
+// evaluation between loop iterations. maxNodes, when positive, is the
+// node budget of the parse (the DOM engine's buffer population is the
+// whole document); a breach aborts with an error wrapping
+// buffer.ErrBudget. The caller owns src and sink and releases them
+// after the call.
+func RunDOMSource(ctx context.Context, plan *analysis.Plan, src event.Source, out event.Sink, enableAggregation bool, maxNodes int64) (*engine.Result, error) {
 	if plan.UsesAggregation && !enableAggregation {
 		return nil, fmt.Errorf("baseline: query uses the aggregation extension; enable it explicitly")
 	}
-	doc, err := dom.ParseSource(ctx, src)
+	doc, err := dom.ParseSourceBudget(ctx, src, maxNodes)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,19 @@
 package buffer
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
 	"gcx/internal/event"
 )
+
+// ErrBudget is the sentinel of a node-budget breach: allocating one more
+// node would push the buffer population past MaxNodes. The engine
+// surfaces it (wrapped with the concrete numbers) instead of letting the
+// buffer grow without bound; match with errors.Is.
+var ErrBudget = errors.New("buffer node budget exceeded")
 
 // Buffer is the buffer manager's store: the tree of buffered nodes and
 // the accounting needed for the paper's plots and invariants.
@@ -41,6 +48,15 @@ type Buffer struct {
 	// with this set: roles are still tracked, nothing is ever freed.
 	DisableGC bool
 
+	// MaxNodes, when positive, is the node budget: the first allocation
+	// that would push CurrentNodes past it trips the sticky breached
+	// flag (see BudgetErr). The allocation itself still succeeds — the
+	// engine checks BudgetErr at its next token boundary and aborts
+	// gracefully, so enforcement costs one compare per node, not an
+	// error path through the allocator.
+	MaxNodes int64
+	breached bool
+
 	// Node arena: nodes are carved out of pooled slabs so that one
 	// execution's node churn does not translate into one allocation per
 	// buffered node. Slabs go back to the pool in Release. Node structs
@@ -62,6 +78,9 @@ var slabPool = sync.Pool{New: func() any { return new(nodeSlab) }}
 
 // newNode carves a zeroed node out of the current slab.
 func (b *Buffer) newNode() *Node {
+	if b.MaxNodes > 0 && b.CurrentNodes >= b.MaxNodes {
+		b.breached = true
+	}
 	if b.slab == nil || b.slabUsed == slabSize {
 		b.slab = slabPool.Get().(*nodeSlab)
 		b.slabs = append(b.slabs, b.slab)
@@ -97,6 +116,19 @@ func New() *Buffer {
 		assigned: make(map[int]int64),
 		removed:  make(map[int]int64),
 	}
+}
+
+// BudgetErr returns nil while the buffer has stayed within MaxNodes,
+// and an error wrapping ErrBudget once an allocation has crossed the
+// budget. The flag is sticky: garbage collection dropping the
+// population back under budget does not clear it, so a breach is
+// reported even when the watermark only spiked.
+func (b *Buffer) BudgetErr() error {
+	if !b.breached {
+		return nil
+	}
+	return fmt.Errorf("%w: %d nodes buffered, budget %d (peak %d)",
+		ErrBudget, b.CurrentNodes, b.MaxNodes, b.PeakNodes)
 }
 
 // AssignedTotal returns the number of instances of role assigned so far.

@@ -94,6 +94,13 @@ type ExecOptions struct {
 	// RecordEvery samples the buffer plot every N tokens (0 disables).
 	// Recording is only meaningful for the streaming engines.
 	RecordEvery int64
+	// MaxBufferedNodes, when positive, is the run's node budget
+	// (DESIGN.md §9): the streaming engines abort within one token of
+	// the buffer population crossing it, the DOM baseline during the
+	// parse, both with an error wrapping buffer.ErrBudget. The
+	// streaming engines additionally return their partial statistics
+	// alongside the error. Zero means unlimited.
+	MaxBufferedNodes int64
 }
 
 // ExecResult combines the engine statistics with timing and the
@@ -143,6 +150,7 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 			DisableGC:         opts.Engine == ProjectionOnly,
 			EnableAggregation: opts.EnableAggregation,
 			DisableSkip:       opts.DisableSkip,
+			MaxBufferedNodes:  opts.MaxBufferedNodes,
 		}
 		if opts.RecordEvery > 0 {
 			rec = stats.NewRecorder(opts.RecordEvery)
@@ -155,7 +163,7 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 		// right away.
 		eng.Release()
 	case DOM:
-		res, err = baseline.RunDOMSource(ctx, plan, src, sink, opts.EnableAggregation)
+		res, err = baseline.RunDOMSource(ctx, plan, src, sink, opts.EnableAggregation, opts.MaxBufferedNodes)
 		src.Release()
 		sink.Release()
 	default:
@@ -164,6 +172,11 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 		return nil, fmt.Errorf("core: unknown engine kind %d", opts.Engine)
 	}
 	if err != nil {
+		// Budget breaches carry the partial statistics (how far the run
+		// got before degrading); other errors return nil as before.
+		if res != nil {
+			return &ExecResult{Result: *res, Duration: time.Since(start)}, err
+		}
 		return nil, err
 	}
 	out := &ExecResult{Result: *res, Duration: time.Since(start)}

@@ -8,9 +8,11 @@ package dom
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"strings"
 
+	"gcx/internal/buffer"
 	"gcx/internal/event"
 	"gcx/internal/xmltok"
 	"gcx/internal/xpath"
@@ -69,6 +71,15 @@ func ParseContext(ctx context.Context, r io.Reader) (*Document, error) {
 // tokenizer) can back the DOM baseline. The caller keeps ownership of
 // src and releases it.
 func ParseSource(ctx context.Context, tz event.Source) (*Document, error) {
+	return ParseSourceBudget(ctx, tz, 0)
+}
+
+// ParseSourceBudget is ParseSource under a node budget: the full-
+// buffering baseline's population is the whole document, so a document
+// growing past maxNodes element+text nodes aborts the parse with an
+// error wrapping buffer.ErrBudget instead of buffering the rest.
+// maxNodes 0 means unlimited.
+func ParseSourceBudget(ctx context.Context, tz event.Source, maxNodes int64) (*Document, error) {
 	tz.SetContext(ctx)
 	root := &Node{Kind: Root}
 	doc := &Document{Root: root}
@@ -98,6 +109,10 @@ func ParseSource(ctx context.Context, tz event.Source) (*Document, error) {
 			cur.Children = append(cur.Children, n)
 			doc.Nodes++
 			doc.Bytes += 128 + int64(len(tok.Text))
+		}
+		if maxNodes > 0 && doc.Nodes > maxNodes {
+			return nil, fmt.Errorf("%w: document holds %d nodes, budget %d (full-buffering engine)",
+				buffer.ErrBudget, doc.Nodes, maxNodes)
 		}
 	}
 	doc.Tokens = tz.TokenCount()

@@ -13,6 +13,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"gcx/internal/analysis"
@@ -54,6 +55,11 @@ type Config struct {
 	// because skipped subtrees do not count into the per-token buffer
 	// plots.
 	DisableSkip bool
+	// MaxBufferedNodes, when positive, is the run's node budget: the
+	// first buffered node pushing the population past it aborts the run
+	// within one token, returning an error wrapping buffer.ErrBudget
+	// together with the partial statistics. Zero means unlimited.
+	MaxBufferedNodes int64
 	// Recorder, if non-nil, samples the buffer size per input token.
 	Recorder *stats.Recorder
 }
@@ -113,6 +119,7 @@ type Engine struct {
 func New(plan *analysis.Plan, src event.Source, sink event.Sink, cfg Config) *Engine {
 	buf := buffer.New()
 	buf.DisableGC = cfg.DisableGC
+	buf.MaxNodes = cfg.MaxBufferedNodes
 	proj := projection.New(src, buf, plan.RolePaths())
 	if !cfg.DisableSkip && cfg.Recorder == nil {
 		proj.EnableSkipping(plan.Automaton)
@@ -147,16 +154,31 @@ func (e *Engine) Run() (*Result, error) {
 // is observed at every token-pull boundary — both here, before each
 // preprojector step, and inside the tokenizer — so the run aborts within
 // one token of ctx being cancelled and returns ctx.Err().
+//
+// A node-budget breach (Config.MaxBufferedNodes) returns the partial
+// run statistics alongside the buffer.ErrBudget-wrapping error, so
+// callers can report how far the run got before degrading.
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	err := e.run(ctx)
+	if err != nil {
+		if errors.Is(err, buffer.ErrBudget) {
+			return e.snapshot(), err
+		}
+		return nil, err
+	}
+	return e.snapshot(), nil
+}
+
+func (e *Engine) run(ctx context.Context) error {
 	e.ctx = ctx
 	e.done = ctx.Done()
 	e.src.SetContext(ctx)
 	if e.plan.UsesAggregation && !e.cfg.EnableAggregation {
-		return nil, fmt.Errorf("engine: query uses the aggregation extension (count/sum/min/max/avg); enable it explicitly — the paper fragment excludes aggregation")
+		return fmt.Errorf("engine: query uses the aggregation extension (count/sum/min/max/avg); enable it explicitly — the paper fragment excludes aggregation")
 	}
 	env := map[string]*buffer.Node{xqast.RootVar: e.buf.Root}
 	if err := e.eval(e.plan.Rewritten.Body, env); err != nil {
-		return nil, err
+		return err
 	}
 	// Epilogue: consume the remaining input. The paper's engines read
 	// the complete stream (Fig. 5 times scale with document size even
@@ -164,12 +186,15 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	// sign-offs queued on still-open ancestors settle, establishing the
 	// assignment/removal balance.
 	if err := e.ensure(func() bool { return false }); err != nil {
-		return nil, err
+		return err
 	}
 	e.buf.DrainPending()
-	if err := e.out.Flush(); err != nil {
-		return nil, err
-	}
+	return e.out.Flush()
+}
+
+// snapshot captures the run statistics at the current state — the final
+// result of a clean run, the partial result of a budget breach.
+func (e *Engine) snapshot() *Result {
 	skip := e.src.SkipStats()
 	return &Result{
 		TokensProcessed:    e.proj.TokensProcessed(),
@@ -182,7 +207,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		BytesSkipped:       skip.BytesSkipped,
 		TagsSkipped:        skip.TagsSkipped,
 		SubtreesSkipped:    skip.SubtreesSkipped,
-	}, nil
+	}
 }
 
 // CheckBalance verifies the role assignment/removal balance after Run
@@ -211,6 +236,13 @@ func (e *Engine) ensure(pred func() bool) error {
 		}
 		ok, err := e.proj.Step()
 		if err != nil {
+			return err
+		}
+		// The budget flag is tripped inside the buffer's node allocator;
+		// checking it once per pulled token keeps enforcement off the
+		// per-node hot path while still aborting within one token of the
+		// breach.
+		if err := e.buf.BudgetErr(); err != nil {
 			return err
 		}
 		if !ok {

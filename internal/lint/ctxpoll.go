@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// pollPkgs are the packages whose pull loops the pass inspects: the
+// engine (which owns the blocked-evaluator loop) and the shard runner
+// (which owns the splitter producer loop).
+var pollPkgs = map[string]bool{
+	"gcx/internal/engine": true,
+	"gcx/internal/shard":  true,
+}
+
+// CtxPoll enforces the cancellation-latency contract: any for-loop in
+// the engine or shard packages that pulls input — calls Step, Next, or
+// a next* helper — must poll for cancellation in the same loop body,
+// either by calling a poll method or by selecting on a Done channel.
+// Without it, a disconnecting gcxd client or an elapsed -timeout could
+// leave a run spinning until end of input.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "token-pull loops in engine/shard must poll for cancellation",
+	Run: func(files []*File) []Finding {
+		var out []Finding
+		for _, f := range files {
+			if f.Test || !pollPkgs[f.PkgPath] {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				body := loopBody(n)
+				if body == nil {
+					return true
+				}
+				if pullsInput(body) && !pollsCancellation(body) {
+					out = append(out, Finding{
+						Pos:      f.Fset.Position(n.Pos()),
+						Analyzer: "ctxpoll",
+						Message:  "token-pull loop does not poll for cancellation: call poll() or select on a Done channel in the loop body",
+					})
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// calleeName extracts the final identifier of a call target:
+// e.proj.Step() → "Step", nextChunk() → "nextChunk".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// inspectShallow walks stmts without descending into nested function
+// literals or nested loops — those own their polling obligations.
+func inspectShallow(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// pullsInput reports whether the loop body advances the input stream:
+// a call to Step, Next, or a helper named next*.
+func pullsInput(body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			name := calleeName(call)
+			if name == "Step" || name == "Next" || strings.HasPrefix(name, "next") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// pollsCancellation reports whether the loop body checks for
+// cancellation: a call to a method named poll/Poll, or a select with a
+// receive from a *Done channel (case <-ctx.Done(): or a cached done
+// channel).
+func pollsCancellation(body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := calleeName(n); name == "poll" || name == "Poll" {
+				found = true
+			}
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if recvFromDone(cc.Comm) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// Direct blocking receive outside a select also counts.
+			if doneChan(n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// recvFromDone matches `case <-x.Done():`, `case <-done:` and their
+// assignment forms.
+func recvFromDone(s ast.Stmt) bool {
+	var x ast.Expr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		x = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			x = s.Rhs[0]
+		}
+	}
+	u, ok := x.(*ast.UnaryExpr)
+	return ok && doneChan(u)
+}
+
+func doneChan(u *ast.UnaryExpr) bool {
+	if u.Op.String() != "<-" {
+		return false
+	}
+	switch ch := u.X.(type) {
+	case *ast.CallExpr:
+		return calleeName(ch) == "Done"
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(ch.Name), "done")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(ch.Sel.Name), "done")
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestEventBoundaryFixture: the seeded violation fires, the allowed
+// package and the test file do not.
+func TestEventBoundaryFixture(t *testing.T) {
+	findings, err := Run("testdata/eventboundary", []*Analyzer{EventBoundary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want exactly the seeded violation:\n%v", len(findings), findings)
+	}
+	f := findings[0]
+	if !strings.Contains(f.Pos.Filename, "output/bad.go") {
+		t.Errorf("finding in %s, want output/bad.go", f.Pos.Filename)
+	}
+	if !strings.Contains(f.Message, "gcx/internal/xmltok") || !strings.Contains(f.Message, "internal/event") {
+		t.Errorf("message lacks the import and the remedy: %s", f.Message)
+	}
+}
+
+// TestCtxPollFixture: both seeded pull-without-poll loops fire; the two
+// polling idioms and the out-of-scope package do not.
+func TestCtxPollFixture(t *testing.T) {
+	findings, err := Run("testdata/ctxpoll", []*Analyzer{CtxPoll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want the two seeded violations:\n%v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Pos.Filename, "engine/loops.go") {
+			t.Errorf("finding outside the fixture engine package: %v", f)
+		}
+	}
+}
+
+// TestRepoClean: the real repository satisfies every pass — the
+// invariant `make check` and CI enforce.
+func TestRepoClean(t *testing.T) {
+	findings, err := Run("../..", All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repo violation: %v", f)
+	}
+}
+
+// TestCtxPollNotVacuous: the pass recognizes the repo's real pull loops
+// (engine's ensure, shard's splitter producer) — otherwise a clean run
+// proves nothing.
+func TestCtxPollNotVacuous(t *testing.T) {
+	files, err := Load("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pullLoops := 0
+	for _, f := range files {
+		if f.Test || !pollPkgs[f.PkgPath] {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if body := loopBody(n); body != nil && pullsInput(body) {
+				pullLoops++
+			}
+			return true
+		})
+	}
+	if pullLoops == 0 {
+		t.Fatal("ctxpoll matched no pull loop in engine/shard; the pass has gone vacuous")
+	}
+}
+
+// TestLoadPkgPaths: import paths derive from the module path and the
+// directory layout.
+func TestLoadPkgPaths(t *testing.T) {
+	files, err := Load("testdata/ctxpoll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"gcx/internal/engine": false,
+		"gcx/internal/other":  false,
+	}
+	for _, f := range files {
+		if _, ok := want[f.PkgPath]; ok {
+			want[f.PkgPath] = true
+		} else {
+			t.Errorf("unexpected package path %q for %s", f.PkgPath, f.Path)
+		}
+	}
+	for pkg, seen := range want {
+		if !seen {
+			t.Errorf("package %s not loaded", pkg)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup("eventboundary") != EventBoundary || Lookup("ctxpoll") != CtxPoll {
+		t.Error("Lookup does not resolve registered passes")
+	}
+	if Lookup("nope") != nil {
+		t.Error("Lookup resolved an unknown pass")
+	}
+}

@@ -1,0 +1,57 @@
+// Package engine is the ctxpoll fixture: pull loops with and without
+// cancellation polling. The two bad* functions are the seeded
+// violations the pass must report; the ok* functions show the two
+// accepted polling idioms (a poll() call, a select on a Done channel).
+package engine
+
+type src struct{}
+
+func (s *src) Next() (int, error)  { return 0, nil }
+func (s *src) Step() (bool, error) { return false, nil }
+
+type eng struct {
+	src  *src
+	done chan struct{}
+}
+
+func (e *eng) poll() error { return nil }
+
+func (e *eng) okPoll() {
+	for {
+		if err := e.poll(); err != nil {
+			return
+		}
+		if _, err := e.src.Step(); err != nil {
+			return
+		}
+	}
+}
+
+func (e *eng) okSelect() {
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		if _, err := e.src.Next(); err != nil {
+			return
+		}
+	}
+}
+
+func (e *eng) badPull() {
+	for {
+		if _, err := e.src.Step(); err != nil {
+			return
+		}
+	}
+}
+
+func (e *eng) badRange(chunks []int) {
+	for range chunks {
+		nextChunk()
+	}
+}
+
+func nextChunk() {}

@@ -1,0 +1,15 @@
+// Package other pulls input without polling, but is outside the
+// engine/shard scope of the ctxpoll pass — no finding expected.
+package other
+
+type src struct{}
+
+func (s *src) Next() (int, error) { return 0, nil }
+
+func drain(s *src) {
+	for {
+		if _, err := s.Next(); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package output is a seeded eventboundary violation: it imports the
+// raw XML tokenizer from outside the allowed front-end set. The fixture
+// is parse-only — it never builds.
+package output
+
+import "gcx/internal/xmltok"
+
+var _ = xmltok.NewTokenizer

@@ -1,0 +1,7 @@
+// Test files are exempt from the boundary: differential tests and
+// benchmarks drive tokenizers head-to-head on purpose.
+package output
+
+import "gcx/internal/jsontok"
+
+var _ = jsontok.NewTokenizer

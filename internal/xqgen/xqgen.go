@@ -27,6 +27,13 @@ type Options struct {
 	AttrTemplates bool
 	// Where permits where-clauses on loops.
 	Where bool
+	// SingleRootLoop biases generation toward bounded-streamable
+	// queries: once a loop variable is in scope, path references prefer
+	// bound variables over the absolute root, so most generated queries
+	// are single-pass pipelines rather than joins or whole-input reads.
+	// Used by the static-bound fuzz harness, which needs a healthy mix
+	// of bounded classifications to exercise the budget property.
+	SingleRootLoop bool
 }
 
 // DefaultOptions covers the full implemented language.
@@ -111,9 +118,11 @@ func (g *gen) path(allowAttr, allowText bool) string {
 	return strings.Join(steps, "/")
 }
 
-// base picks an in-scope variable or the root.
+// base picks an in-scope variable or the root. Under SingleRootLoop,
+// bound variables win whenever one is in scope (the root is only used
+// for the first loop binding and for loop-free expressions).
 func (g *gen) base() string {
-	if len(g.vars) > 0 && g.r.Intn(3) > 0 {
+	if len(g.vars) > 0 && (g.opts.SingleRootLoop || g.r.Intn(3) > 0) {
 		return "$" + g.vars[g.r.Intn(len(g.vars))]
 	}
 	return ""
