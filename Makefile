@@ -41,7 +41,7 @@ lint:
 # (gcxbench runs J1,J2,J3 by default). Keep the matrix small enough for
 # CI; widen locally with e.g. `go run ./cmd/gcxbench -sizes 1,5 -reps 5`.
 bench:
-	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q13 -engines gcx -reps 3 -json BENCH_gcx.json
+	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q8,Q9,Q13 -engines gcx -reps 3 -json BENCH_gcx.json
 
 # bench-json measures only the NDJSON cells (DESIGN.md §8) — a quick
 # look at the JSON front end's throughput without the XML matrix. The
@@ -52,7 +52,7 @@ bench-json:
 # benchstat compares a fresh run against the committed baseline
 # (requires golang.org/x/perf's benchstat on PATH or via `go run`).
 benchstat:
-	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q13 -engines gcx -reps 3 -json /tmp/BENCH_gcx.new.json
+	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q8,Q9,Q13 -engines gcx -reps 3 -json /tmp/BENCH_gcx.new.json
 	@command -v jq >/dev/null || { echo "jq required" >&2; exit 1; }
 	jq -r '.entries[].gobench' BENCH_gcx.json > /tmp/bench_old.txt
 	jq -r '.entries[].gobench' /tmp/BENCH_gcx.new.json > /tmp/bench_new.txt
@@ -66,3 +66,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzJSONSkipSubtree -fuzztime 10s ./internal/jsontok
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/xqparse
 	$(GO) test -run xxx -fuzz FuzzStreamBound -fuzztime 10s .
+	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 10s .

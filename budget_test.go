@@ -7,6 +7,7 @@ package gcx_test
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -14,6 +15,34 @@ import (
 	"gcx"
 	"gcx/internal/xmark"
 )
+
+// TestJoinBudgetPartialStats: the join operator's build side counts
+// against the budget; a breach returns ErrBufferBudget together with
+// the partial Result, including the join counters accumulated so far.
+func TestJoinBudgetPartialStats(t *testing.T) {
+	q := gcx.MustCompile(`<out>{ for $p in /root/ps/p return
+		for $b in /root/bs/b return if ($b/k = $p/k) then $b/v else () }</out>`)
+	var doc strings.Builder
+	doc.WriteString("<root><ps><p><k>a</k></p><p><k>b</k></p><p><k>c</k></p></ps><bs>")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&doc, "<b><k>a</k><v>v%d</v></b>", i)
+	}
+	doc.WriteString("</bs></root>")
+	res, err := q.Execute(strings.NewReader(doc.String()), io.Discard,
+		gcx.Options{MaxBufferedNodes: 20})
+	if !errors.Is(err, gcx.ErrBufferBudget) {
+		t.Fatalf("want ErrBufferBudget, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("budget breach returned no partial Result")
+	}
+	if res.JoinProbeTuples != 3 {
+		t.Errorf("partial JoinProbeTuples = %d, want 3 (probe section precedes the breach)", res.JoinProbeTuples)
+	}
+	if res.PeakBufferedNodes == 0 || res.PeakBufferedNodes > 21 {
+		t.Errorf("peak %d not within one node of the budget", res.PeakBufferedNodes)
+	}
+}
 
 func budgetInput(t *testing.T) string {
 	t.Helper()

@@ -60,6 +60,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		showStats   = fs.Bool("stats", false, "print run statistics to stderr")
 		plotEvery   = fs.Int64("plot", 0, "emit a buffer plot sample to stderr every N tokens")
 		shards      = fs.Int("shards", 1, "parallel engine instances for partitionable queries (0/1 = sequential)")
+		noJoin      = fs.Bool("no-join", false, "disable the streaming hash join operator (nested-loop baseline for detected joins)")
 		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -129,7 +130,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		format = gcx.DetectPathFormat(*inputFile)
 	}
 
-	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards, Format: format, MaxBufferedNodes: *maxNodes}
+	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards, Format: format, MaxBufferedNodes: *maxNodes, DisableJoin: *noJoin}
 	switch *engineName {
 	case "gcx":
 		opts.Engine = gcx.EngineGCX
@@ -168,10 +169,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	if *showStats {
 		fmt.Fprintf(stderr,
-			"tokens=%d peak_nodes=%d peak_bytes=%d final_nodes=%d appended=%d purged=%d output_bytes=%d bytes_skipped=%d tags_skipped=%d shards=%d chunks=%d time=%s\n",
+			"tokens=%d peak_nodes=%d peak_bytes=%d final_nodes=%d appended=%d purged=%d output_bytes=%d bytes_skipped=%d tags_skipped=%d shards=%d chunks=%d join_probe=%d join_build=%d join_matches=%d time=%s\n",
 			res.TokensProcessed, res.PeakBufferedNodes, res.PeakBufferedBytes,
 			res.FinalBufferedNodes, res.TotalAppended, res.TotalPurged,
-			res.OutputBytes, res.BytesSkipped, res.TagsSkipped, res.ShardsUsed, res.Chunks, res.Duration)
+			res.OutputBytes, res.BytesSkipped, res.TagsSkipped, res.ShardsUsed, res.Chunks,
+			res.JoinProbeTuples, res.JoinBuildTuples, res.JoinMatches, res.Duration)
 	}
 	return 0
 }

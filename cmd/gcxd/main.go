@@ -142,6 +142,12 @@ type server struct {
 	// end via ?format= (DESIGN.md §8).
 	jsonRequests atomic.Int64
 
+	// Streaming-join counters (DESIGN.md §10): probe bindings, build
+	// tuples and matched emissions across all runs of detected joins.
+	joinProbeTuples atomic.Int64
+	joinBuildTuples atomic.Int64
+	joinMatches     atomic.Int64
+
 	// Budget accounting (DESIGN.md §9): requests rejected at admission
 	// because a ?max_nodes= budget met a statically-unbounded query, and
 	// runs aborted because the buffer hit the budget at runtime.
@@ -172,6 +178,19 @@ func (s *server) observePeaks(res *gcx.Result) {
 			break
 		}
 	}
+}
+
+// observeJoin folds one run's join counters into the server totals.
+// Budget-tripped runs contribute their partial counts: how far the
+// probe/build sides got before the breach is exactly what an operator
+// sizing max_nodes wants to see.
+func (s *server) observeJoin(res *gcx.Result) {
+	if res == nil {
+		return
+	}
+	s.joinProbeTuples.Add(res.JoinProbeTuples)
+	s.joinBuildTuples.Add(res.JoinBuildTuples)
+	s.joinMatches.Add(res.JoinMatches)
 }
 
 func newServer(cacheSize int) *server {
@@ -290,8 +309,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if opts.MaxBufferedNodes > 0 {
 		// Admission control: a budget-carrying request with a query the
 		// analyzer proved unbounded can only end in a mid-stream abort,
-		// so reject it up front with the analyzer's reason.
-		if rep := q.Report(); rep.Streamability == "unbounded" {
+		// so reject it up front with the analyzer's reason. Detected
+		// joins are exempt: they are classified unbounded (the build side
+		// is buffered to end of input), but the join operator enforces
+		// the budget on the build table and degrades gracefully with
+		// partial statistics, surfacing as a budget_trip below — the
+		// budget is exactly the knob that makes such a query admissible.
+		if rep := q.Report(); rep.Streamability == "unbounded" && rep.Join == nil {
 			s.budgetRejections.Add(1)
 			s.fail(w, http.StatusRequestEntityTooLarge,
 				"query is statically unbounded and cannot run under max_nodes: "+rep.StreamabilityReason)
@@ -306,6 +330,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.bytesOut.Add(cw.n)
 	if err != nil {
 		s.observePeaks(res) // budget trips still report the partial run's watermark
+		s.observeJoin(res)
 		if errors.Is(err, gcx.ErrBufferBudget) {
 			s.budgetTrips.Add(1)
 			if cw.n == 0 {
@@ -322,6 +347,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observePeaks(res)
+	s.observeJoin(res)
 	if opts.Shards > 1 {
 		s.shardedRequests.Add(1)
 		s.shardWorkers.Add(int64(res.ShardsUsed))
@@ -391,6 +417,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bytes_skipped":    s.bytesSkipped.Load(),
 		"subtrees_skipped": s.subtreesSkipped.Load(),
 		"json_requests":    s.jsonRequests.Load(),
+		// Streaming-join totals (DESIGN.md §10).
+		"join_probe_tuples": s.joinProbeTuples.Load(),
+		"join_build_tuples": s.joinBuildTuples.Load(),
+		"join_matches":      s.joinMatches.Load(),
 		// Buffer watermarks and budget accounting (DESIGN.md §9).
 		"peak_buffered_nodes": s.peakNodes.Load(),
 		"peak_buffered_bytes": s.peakBytes.Load(),

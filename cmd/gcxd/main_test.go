@@ -419,6 +419,74 @@ func TestServerBudget(t *testing.T) {
 	}
 }
 
+// TestServerJoinBudget: a detected two-variable join is exempt from the
+// unbounded-query admission rejection — the join operator enforces the
+// budget on its build side — and a breach surfaces as a budget trip
+// with partial join statistics, not as a generic execution error.
+func TestServerJoinBudget(t *testing.T) {
+	ts := httptest.NewServer(newServer(8))
+	defer ts.Close()
+
+	const joinQuery = `<out>{ for $b in /bib/book return
+	  for $a in /bib/article return
+	    if ($a/ref = $b/title) then $a/au else () }</out>`
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&sb, "<book><title>t%d</title></book>", i)
+	}
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&sb, "<article><ref>t%d</ref><au>a%d</au></article>", i, i)
+	}
+	sb.WriteString("</bib>")
+	doc := sb.String()
+
+	// Admitted under a generous budget despite the unbounded class.
+	resp, body := postQuery(t, ts.URL, joinQuery, doc, "max_nodes=100000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join under generous budget: status %d, want 200: %s", resp.StatusCode, body)
+	}
+	if want := expectedOutput(t, joinQuery, doc); body != want {
+		t.Fatalf("join output mismatch:\n got %q\nwant %q", body, want)
+	}
+
+	// A tiny budget trips on the build side: 413 or error trailer, and
+	// budget_trips counts it.
+	resp, body = postQuery(t, ts.URL, joinQuery, doc, "max_nodes=3")
+	tripped := resp.StatusCode == http.StatusRequestEntityTooLarge ||
+		strings.Contains(resp.Trailer.Get("X-Gcx-Error"), "budget")
+	if !tripped {
+		t.Fatalf("join budget did not trip: status %d, trailer %q, body %q",
+			resp.StatusCode, resp.Trailer.Get("X-Gcx-Error"), body)
+	}
+
+	var stats struct {
+		BudgetRejections int64 `json:"budget_rejections"`
+		BudgetTrips      int64 `json:"budget_trips"`
+		JoinProbe        int64 `json:"join_probe_tuples"`
+		JoinBuild        int64 `json:"join_build_tuples"`
+		JoinMatches      int64 `json:"join_matches"`
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BudgetRejections != 0 {
+		t.Errorf("join was rejected at admission: budget_rejections = %d", stats.BudgetRejections)
+	}
+	if stats.BudgetTrips != 1 {
+		t.Errorf("budget_trips = %d, want 1", stats.BudgetTrips)
+	}
+	if stats.JoinProbe == 0 || stats.JoinBuild == 0 || stats.JoinMatches == 0 {
+		t.Errorf("join counters not recorded: probe=%d build=%d matches=%d",
+			stats.JoinProbe, stats.JoinBuild, stats.JoinMatches)
+	}
+}
+
 // TestServerExplain drives the /explain endpoint: a structured report
 // for good queries, 400 for bad ones, no execution either way.
 func TestServerExplain(t *testing.T) {

@@ -22,8 +22,8 @@ func TestRunSeededViolations(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1 on findings\nstderr: %s", code, errb.String())
 	}
-	if got := strings.Count(out.String(), "ctxpoll:"); got != 2 {
-		t.Errorf("reported %d findings, want 2:\n%s", got, out.String())
+	if got := strings.Count(out.String(), "ctxpoll:"); got != 3 {
+		t.Errorf("reported %d findings, want 3 (two engine, one join):\n%s", got, out.String())
 	}
 }
 

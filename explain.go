@@ -40,6 +40,10 @@ type ExplainReport struct {
 	Skipping SkipReport `json:"skipping"`
 	// Sharding is the data-parallel execution verdict.
 	Sharding ShardReport `json:"sharding"`
+	// Join describes the streaming hash join plan of a detected
+	// two-variable equality join (DESIGN.md §10); nil when the query has
+	// none and runs pure nested-loop evaluation.
+	Join *JoinReport `json:"join,omitempty"`
 }
 
 // BoundReport is the static node budget of a bounded query:
@@ -85,6 +89,24 @@ type ShardReport struct {
 	NDJSONReason string `json:"ndjson_reason,omitempty"`
 }
 
+// JoinReport is the compile-time plan of a detected streaming join.
+type JoinReport struct {
+	// Strategy names the execution strategy.
+	Strategy string `json:"strategy"`
+	// ProbePath and BuildPath are the two correlated binding paths: the
+	// probe side streams through, the build side is materialized.
+	ProbePath string `json:"probe_path"`
+	BuildPath string `json:"build_path"`
+	// ProbeKey and BuildKey are the equality-compared key paths,
+	// relative to their binding variables.
+	ProbeKey string `json:"probe_key"`
+	BuildKey string `json:"build_key"`
+	// Budget notes how Options.MaxBufferedNodes applies: the build
+	// side's materialization counts against the run's node budget, so a
+	// budget trip surfaces before the table outgrows memory.
+	Budget string `json:"budget"`
+}
+
 // Report returns the structured analyzer report of the compiled query.
 func (q *Query) Report() ExplainReport {
 	st := q.plan.Stream
@@ -120,6 +142,16 @@ func (q *Query) Report() ExplainReport {
 		}
 	} else {
 		r.Sharding.Reason = q.shardReason
+	}
+	if j := q.plan.Join; j != nil {
+		r.Join = &JoinReport{
+			Strategy:  j.Strategy(),
+			ProbePath: j.ProbePath.String(),
+			BuildPath: j.BuildPath.String(),
+			ProbeKey:  j.ProbeKey.RelString(),
+			BuildKey:  j.BuildKey.RelString(),
+			Budget:    "build-side nodes stay buffered until end of input and count against MaxBufferedNodes; a breach returns ErrBufferBudget with partial statistics",
+		}
 	}
 	return r
 }
@@ -158,6 +190,11 @@ func (r ExplainReport) Text() string {
 		b.WriteString("\n")
 	} else {
 		b.WriteString("Sharding: sequential only (" + r.Sharding.Reason + ")\n")
+	}
+	if r.Join != nil {
+		b.WriteString("Join: " + r.Join.Strategy +
+			" — probe " + r.Join.ProbePath + " key " + r.Join.ProbeKey +
+			" ⋈ build " + r.Join.BuildPath + " key " + r.Join.BuildKey + "\n")
 	}
 	return b.String()
 }

@@ -184,9 +184,12 @@ type Options struct {
 	// and evaluated by Shards concurrent engine instances, with outputs
 	// merged in input order so the result is byte-identical to the
 	// sequential run. 0 or 1 keeps the sequential engine; counts above
-	// MaxShards are clamped. Queries that are not partitionable (joins,
-	// whole-input aggregation — see Query.Shardable) and runs with
-	// RecordEvery set fall back to sequential execution transparently.
+	// MaxShards are clamped. Detected joins shard too: the probe side is
+	// partitioned and the build section broadcast to every worker.
+	// Queries that are not partitionable (whole-input aggregation,
+	// correlated loops beyond the join shape — see Query.Shardable) and
+	// runs with RecordEvery set fall back to sequential execution
+	// transparently.
 	Shards int
 	// MaxBufferedNodes, when positive, is the run's node budget
 	// (DESIGN.md §9): the first buffered node pushing the population
@@ -199,6 +202,12 @@ type Options struct {
 	// unlimited. Query.Report says, per query, whether a budget can
 	// statically be guaranteed to suffice — see ExplainReport.
 	MaxBufferedNodes int64
+	// DisableJoin turns off the streaming hash join operator
+	// (DESIGN.md §10), evaluating detected two-variable equality joins
+	// with nested loops instead. The query output is byte-identical
+	// either way; the switch exists for A/B measurements and
+	// differential tests.
+	DisableJoin bool
 }
 
 // Role describes one projection path derived by static analysis.
@@ -257,6 +266,14 @@ type Result struct {
 	TagsSkipped int64
 	// SubtreesSkipped counts byte-level fast-forwards taken.
 	SubtreesSkipped int64
+	// JoinProbeTuples, JoinBuildTuples and JoinMatches report the
+	// streaming hash join operator's work (DESIGN.md §10): probe-side
+	// bindings captured, build-side tuples materialized into the hash
+	// table, and matched payload emissions. All zero when the query has
+	// no detected join or Options.DisableJoin is set.
+	JoinProbeTuples int64
+	JoinBuildTuples int64
+	JoinMatches     int64
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
 	// Series is the recorded buffer plot (empty unless
@@ -392,6 +409,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		RecordEvery:       opts.RecordEvery,
 		Format:            opts.Format.core(),
 		MaxBufferedNodes:  opts.MaxBufferedNodes,
+		DisableJoin:       opts.DisableJoin,
 	}
 	switch opts.Engine {
 	case EngineGCX:
@@ -437,6 +455,9 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 			BytesSkipped:       sres.BytesSkipped,
 			TagsSkipped:        sres.TagsSkipped,
 			SubtreesSkipped:    sres.SubtreesSkipped,
+			JoinProbeTuples:    sres.JoinProbeTuples,
+			JoinBuildTuples:    sres.JoinBuildTuples,
+			JoinMatches:        sres.JoinMatches,
 			Duration:           sres.Duration,
 			ShardsUsed:         shards,
 			Chunks:             sres.Chunks,
@@ -459,6 +480,9 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		BytesSkipped:       res.BytesSkipped,
 		TagsSkipped:        res.TagsSkipped,
 		SubtreesSkipped:    res.SubtreesSkipped,
+		JoinProbeTuples:    res.JoinProbeTuples,
+		JoinBuildTuples:    res.JoinBuildTuples,
+		JoinMatches:        res.JoinMatches,
 		Duration:           res.Duration,
 		ShardsUsed:         1,
 	}

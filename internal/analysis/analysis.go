@@ -106,6 +106,11 @@ type Plan struct {
 	// class, the analyzer's reason, and (for bounded classes) the
 	// static node budget. See streamability.go / DESIGN.md §9.
 	Stream StreamInfo
+	// Join is the detected equality-join structure (the Q8/Q9 shape),
+	// or nil. When set, the engine runs the internal/join operator —
+	// one pass, build side materialized into a hash table — instead of
+	// nested re-evaluation. See join.go / DESIGN.md §10.
+	Join *JoinInfo
 }
 
 // RolePaths returns the projection paths indexed by role id, the input
@@ -165,5 +170,6 @@ func AnalyzeWithOptions(q *xqast.Query, opts Options) (*Plan, error) {
 	}
 	plan.Automaton, plan.SkipReason = xpath.CompileAutomatonReason(plan.RolePaths())
 	plan.Stream = Streamability(plan)
+	plan.Join = DetectJoin(plan)
 	return plan, nil
 }

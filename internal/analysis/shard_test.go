@@ -96,15 +96,44 @@ func TestShardableRootLoop(t *testing.T) {
 	}
 }
 
+// TestShardableJoin: a detected join partitions on the probe path and
+// records the build path plus the shared-ancestor divergence so the
+// shard runner can broadcast the build section.
+func TestShardableJoin(t *testing.T) {
+	info, reason := shardableOf(t, `<result>{
+	  for $p in /site/people/person return
+	    for $t in /site/closed_auctions/closed_auction return
+	      if ($t/buyer/@person = $p/@id) then $t/price else ()
+	}</result>`)
+	if info == nil {
+		t.Fatalf("not shardable: %s", reason)
+	}
+	if !info.Join {
+		t.Fatal("Join flag not set on a join plan")
+	}
+	if got := info.PartitionPath.String(); got != "/site/people/person" {
+		t.Fatalf("partition path = %s, want the probe path", got)
+	}
+	if got := info.BuildPath.String(); got != "/site/closed_auctions/closed_auction" {
+		t.Fatalf("build path = %s", got)
+	}
+	if info.Divergence != 1 {
+		t.Fatalf("divergence = %d, want 1 (shared /site)", info.Divergence)
+	}
+	if info.Inner == nil || info.Inner.Join == nil {
+		t.Fatal("inner plan did not re-detect the join")
+	}
+}
+
 func TestNotShardable(t *testing.T) {
 	cases := []struct {
 		name, src, reasonPart string
 	}{
-		{"join", `<r>{
-		  for $p in /site/people/person return
-		    for $t in /site/closed_auctions/closed_auction return
-		      if ($t/buyer/@person = $p/@id) then $t/price else ()
-		}</r>`, "document root"},
+		{"join without shared ancestor", `<r>{
+		  for $p in /people/person return
+		    for $t in /auctions/auction return
+		      if ($t/buyer = $p/name) then $t/price else ()
+		}</r>`, "share no ancestor"},
 		{"aggregation", `<r>{ count(/site/regions//item) }</r>`, "aggregation"},
 		{"constant", `<r>hello</r>`, "no outer for-loop"},
 		{"whole-doc path", `<r>{ /site/people }</r>`, "whole document"},

@@ -36,8 +36,9 @@ func TestStreamabilityXMark(t *testing.T) {
 		"Q17": BoundedPerRecord,
 		"Q20": BoundedPerRecord,
 		"J3":  BoundedPerRecord,
-		// Join re-scans an absolute path per outer binding.
+		// Joins re-scan an absolute path per outer binding.
 		"Q8": Unbounded,
+		"Q9": Unbounded,
 		// Whole-input aggregation.
 		"Q5":      Unbounded,
 		"Q6count": Unbounded,

@@ -101,6 +101,10 @@ type ExecOptions struct {
 	// streaming engines additionally return their partial statistics
 	// alongside the error. Zero means unlimited.
 	MaxBufferedNodes int64
+	// DisableJoin evaluates detected join plans (DESIGN.md §10) with
+	// nested loops instead of the streaming hash join; for ablation and
+	// differential testing. Output is identical either way.
+	DisableJoin bool
 }
 
 // ExecResult combines the engine statistics with timing and the
@@ -151,6 +155,7 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 			EnableAggregation: opts.EnableAggregation,
 			DisableSkip:       opts.DisableSkip,
 			MaxBufferedNodes:  opts.MaxBufferedNodes,
+			DisableJoin:       opts.DisableJoin,
 		}
 		if opts.RecordEvery > 0 {
 			rec = stats.NewRecorder(opts.RecordEvery)

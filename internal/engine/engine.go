@@ -60,6 +60,10 @@ type Config struct {
 	// within one token, returning an error wrapping buffer.ErrBudget
 	// together with the partial statistics. Zero means unlimited.
 	MaxBufferedNodes int64
+	// DisableJoin runs detected join plans through nested-loop
+	// evaluation instead of the internal/join operator (ablation and
+	// differential testing; output is identical either way).
+	DisableJoin bool
 	// Recorder, if non-nil, samples the buffer size per input token.
 	Recorder *stats.Recorder
 }
@@ -92,6 +96,13 @@ type Result struct {
 	TagsSkipped int64
 	// SubtreesSkipped counts SkipSubtree fast-forwards.
 	SubtreesSkipped int64
+	// JoinProbeTuples / JoinBuildTuples / JoinMatches report the
+	// streaming join operator's work: probe bindings captured, build
+	// tuples materialized into the hash table, and payload emissions.
+	// All zero when the plan has no join or the operator is disabled.
+	JoinProbeTuples int64
+	JoinBuildTuples int64
+	JoinMatches     int64
 }
 
 // Engine evaluates one compiled query over one input event stream. It
@@ -109,6 +120,10 @@ type Engine struct {
 	// done caches ctx.Done() so the per-step cancellation check in
 	// ensure is a lock-free channel poll.
 	done <-chan struct{}
+	// join is the streaming join operator's run state when the plan
+	// carries a detected join and Config.DisableJoin is off; nil
+	// otherwise (then detected joins run nested-loop).
+	join *joinRun
 }
 
 // New builds an engine instance for a single run over the given event
@@ -137,6 +152,9 @@ func New(plan *analysis.Plan, src event.Source, sink event.Sink, cfg Config) *En
 		proj.OnToken = func() {
 			rec.Record(proj.TokensProcessed(), buf.CurrentNodes, buf.CurrentBytes)
 		}
+	}
+	if plan.Join != nil && !cfg.DisableJoin {
+		e.join = &joinRun{info: plan.Join}
 	}
 	return e
 }
@@ -196,7 +214,7 @@ func (e *Engine) run(ctx context.Context) error {
 // result of a clean run, the partial result of a budget breach.
 func (e *Engine) snapshot() *Result {
 	skip := e.src.SkipStats()
-	return &Result{
+	res := &Result{
 		TokensProcessed:    e.proj.TokensProcessed(),
 		PeakBufferedNodes:  e.buf.PeakNodes,
 		PeakBufferedBytes:  e.buf.PeakBytes,
@@ -208,6 +226,12 @@ func (e *Engine) snapshot() *Result {
 		TagsSkipped:        skip.TagsSkipped,
 		SubtreesSkipped:    skip.SubtreesSkipped,
 	}
+	if e.join != nil {
+		res.JoinProbeTuples = int64(len(e.join.groups))
+		res.JoinBuildTuples = e.join.buildTuples
+		res.JoinMatches = e.join.matches
+	}
+	return res
 }
 
 // CheckBalance verifies the role assignment/removal balance after Run
@@ -362,6 +386,9 @@ func (e *Engine) selectElems(base *buffer.Node, path xpath.Path) []*buffer.Node 
 // time; the previous binding is unpinned (and thereby GC-eligible)
 // before the body of the next one runs.
 func (e *Engine) evalFor(f *xqast.ForExpr, env map[string]*buffer.Node) error {
+	if handled, err := e.interceptFor(f, env); handled {
+		return err
+	}
 	base := env[f.In.Base]
 	step := f.In.Path.Steps[0]
 

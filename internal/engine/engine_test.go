@@ -236,6 +236,39 @@ func TestJoinQuery(t *testing.T) {
 	if res.TotalAppended != 21 {
 		t.Fatalf("appended %d nodes, want 21 (open_auctions projected away)", res.TotalAppended)
 	}
+	// The hash join operator ran: 2 probe bindings, 3 build tuples,
+	// 3 emitted payloads.
+	if res.JoinProbeTuples != 2 || res.JoinBuildTuples != 3 || res.JoinMatches != 3 {
+		t.Fatalf("join counters = probe %d build %d matches %d, want 2/3/3",
+			res.JoinProbeTuples, res.JoinBuildTuples, res.JoinMatches)
+	}
+}
+
+// TestJoinDisabled: DisableJoin falls back to nested-loop evaluation
+// with byte-identical output and zero join counters.
+func TestJoinDisabled(t *testing.T) {
+	const q = `<result>{ for $p in /site/people/person return
+	  <item>{ $p/name,
+	    for $t in /site/closed_auctions/closed_auction return
+	      if ($t/buyer/@person = $p/@id) then $t/price else () }</item> }</result>`
+	const doc = `<site><people>` +
+		`<person id="p1"><name>Ann</name></person>` +
+		`<person id="p2"><name>Bob</name></person>` +
+		`</people><closed_auctions>` +
+		`<closed_auction><buyer person="p2"/><price>42</price></closed_auction>` +
+		`<closed_auction><buyer person="p1"/><price>7</price></closed_auction>` +
+		`</closed_auctions></site>`
+	joined, jres, _ := run(t, q, doc, Config{})
+	nested, nres, _ := run(t, q, doc, Config{DisableJoin: true})
+	if joined != nested {
+		t.Fatalf("join output diverges from nested loop:\n join %q\n nest %q", joined, nested)
+	}
+	if jres.JoinProbeTuples == 0 || jres.JoinMatches != 2 {
+		t.Fatalf("join path did not run: %+v", jres)
+	}
+	if nres.JoinProbeTuples != 0 || nres.JoinBuildTuples != 0 || nres.JoinMatches != 0 {
+		t.Fatalf("disabled run reported join counters: %+v", nres)
+	}
 }
 
 // TestAttributeComparisonAndOutput: Q1 shape.

@@ -25,7 +25,10 @@
 // share one string allocation, and supports byte-level SkipSubtree:
 // when the projection automaton proves a value irrelevant, its bytes
 // are raw-scanned to the matching close brace without string decoding,
-// number parsing or event construction.
+// number parsing or event construction. Scalar values are parsed
+// lazily — the StartElement is delivered before the scalar's bytes are
+// consumed — so skipping a scalar raw-scans its bytes too instead of
+// decoding them first and discarding the result.
 package jsontok
 
 import (
@@ -72,9 +75,15 @@ type Tokenizer struct {
 	off int64
 
 	stack   []frame
-	pending [2]event.Token // queued events of a scalar value (text, end)
+	pending [2]event.Token // queued trailing events of a scalar value
 	npend   int
 	ppend   int
+
+	// A scalar value's StartElement has been delivered but its bytes are
+	// still unread: the next Next parses them (text + end), and a
+	// SkipSubtree instead raw-scans them without decoding.
+	scalarPending bool
+	scalarName    string
 
 	// names interns object keys (→ element names); repeated fields in
 	// large streams share one string allocation.
@@ -126,6 +135,8 @@ func NewTokenizer(r io.Reader) *Tokenizer {
 	t.stack = t.stack[:0]
 	t.npend = 0
 	t.ppend = 0
+	t.scalarPending = false
+	t.scalarName = ""
 	if len(t.names) > maxInternedNames {
 		clear(t.names)
 	}
@@ -217,6 +228,10 @@ func (t *Tokenizer) Next() (event.Token, error) {
 			t.ppend, t.npend = 0, 0
 		}
 		return t.emit(tok)
+	}
+	if t.scalarPending {
+		t.scalarPending = false
+		return t.parseScalar(t.scalarName)
 	}
 	if t.done {
 		if t.ioErr != nil {
@@ -333,19 +348,17 @@ func (t *Tokenizer) Next() (event.Token, error) {
 // means an array frame was pushed and the caller's loop must continue —
 // arrays emit no event of their own, and iterating instead of recursing
 // keeps deeply nested array input from growing the goroutine stack.
+//
+// Scalar values only have their leading byte classified here; the bytes
+// stay in the reader (scalarPending) so that a SkipSubtree right after
+// the StartElement can raw-scan them. A malformed scalar therefore
+// surfaces its syntax error on the Next after the StartElement, not
+// before it.
 func (t *Tokenizer) beginValue(name string) (event.Token, bool, error) {
 	t.stack[len(t.stack)-1].needSep = true
 	b, err := t.skipSpace()
 	if err != nil {
 		return event.Token{}, false, t.unexpectedEOF(err, "expecting value")
-	}
-	scalar := func(text string, present bool) (event.Token, bool, error) {
-		if present {
-			t.queue(event.Token{Kind: event.Text, Text: text})
-		}
-		t.queue(event.Token{Kind: event.EndElement, Name: name})
-		tok, err := t.emit(event.Token{Kind: event.StartElement, Name: name})
-		return tok, true, err
 	}
 	switch {
 	case b == '{':
@@ -359,52 +372,75 @@ func (t *Tokenizer) beginValue(name string) (event.Token, bool, error) {
 		t.off++
 		t.stack = append(t.stack, frame{kind: frameArray, name: name})
 		return event.Token{}, false, nil
-	case b == '"':
-		s, err := t.readString(false)
-		if err != nil {
-			return event.Token{}, false, err
-		}
-		return scalar(s, s != "")
-	case b == 't':
-		if err := t.literal("true"); err != nil {
-			return event.Token{}, false, err
-		}
-		return scalar("true", true)
-	case b == 'f':
-		if err := t.literal("false"); err != nil {
-			return event.Token{}, false, err
-		}
-		return scalar("false", true)
-	case b == 'n':
-		if err := t.literal("null"); err != nil {
-			return event.Token{}, false, err
-		}
-		return scalar("", false)
-	case b == '-' || (b >= '0' && b <= '9'):
-		s, err := t.readNumber()
-		if err != nil {
-			return event.Token{}, false, err
-		}
-		return scalar(s, true)
+	case b == '"' || b == 't' || b == 'f' || b == 'n' || b == '-' || (b >= '0' && b <= '9'):
+		t.scalarPending = true
+		t.scalarName = name
+		tok, err := t.emit(event.Token{Kind: event.StartElement, Name: name})
+		return tok, true, err
 	default:
 		return event.Token{}, false, t.errf("unexpected %q at start of value", b)
 	}
 }
 
+// parseScalar consumes the deferred scalar value and returns its first
+// trailing event: the text (end queued) or, for empty values, the end
+// itself.
+func (t *Tokenizer) parseScalar(name string) (event.Token, error) {
+	b, err := t.skipSpace()
+	if err != nil {
+		return event.Token{}, t.unexpectedEOF(err, "expecting value")
+	}
+	var text string
+	present := true
+	switch {
+	case b == '"':
+		s, err := t.readString(false)
+		if err != nil {
+			return event.Token{}, err
+		}
+		text, present = s, s != ""
+	case b == 't':
+		if err := t.literal("true"); err != nil {
+			return event.Token{}, err
+		}
+		text = "true"
+	case b == 'f':
+		if err := t.literal("false"); err != nil {
+			return event.Token{}, err
+		}
+		text = "false"
+	case b == 'n':
+		if err := t.literal("null"); err != nil {
+			return event.Token{}, err
+		}
+		present = false
+	default: // '-' or digit; beginValue vetted the leading byte
+		s, err := t.readNumber()
+		if err != nil {
+			return event.Token{}, err
+		}
+		text = s
+	}
+	if present {
+		t.queue(event.Token{Kind: event.EndElement, Name: name})
+		return t.emit(event.Token{Kind: event.Text, Text: text})
+	}
+	return t.emit(event.Token{Kind: event.EndElement, Name: name})
+}
+
 // SkipSubtree fast-forwards past the value of the StartElement most
 // recently returned by Next, without producing its events. Container
-// values are raw-scanned at byte level — no string decoding, number
-// parsing, key interning or event construction happens for the skipped
-// region; scalar values (already consumed) just drop their queued
-// events.
+// and scalar values alike are raw-scanned at byte level — no string
+// decoding, number parsing, key interning or event construction happens
+// for the skipped region.
 func (t *Tokenizer) SkipSubtree() error {
 	t.subtreesSkipped++
-	if t.ppend < t.npend {
-		// Scalar value: its text and end events are queued; dropping
-		// them is the whole skip.
-		t.tagsSkipped++ // the undelivered EndElement
-		t.ppend, t.npend = 0, 0
-		return nil
+	if t.scalarPending {
+		// Scalar value: its bytes are still in the reader; raw-scan
+		// them without decoding.
+		t.scalarPending = false
+		t.tagsSkipped++ // the unproduced EndElement
+		return t.skipScalar()
 	}
 	if len(t.stack) == 0 {
 		return t.errf("SkipSubtree with no open element")
@@ -481,6 +517,57 @@ func (t *Tokenizer) rawSkip(depth int) error {
 		t.r.Discard(len(buf))
 		t.off += int64(len(buf))
 		t.bytesSkipped += int64(len(buf))
+	}
+}
+
+// skipScalar raw-scans one scalar value: a string is consumed to its
+// closing quote honoring escapes; a number or keyword runs to the next
+// structural delimiter. No decoding or validation happens — like
+// rawSkip, the scan accepts a superset of what full tokenization would.
+func (t *Tokenizer) skipScalar() error {
+	b, err := t.skipSpace()
+	if err != nil {
+		return t.unexpectedEOF(err, "expecting skipped value")
+	}
+	if b == '"' {
+		t.r.Discard(1)
+		t.off++
+		t.bytesSkipped++
+		escaped := false
+		for {
+			c, err := t.r.ReadByte()
+			if err != nil {
+				return t.unexpectedEOF(err, "inside skipped string")
+			}
+			t.off++
+			t.bytesSkipped++
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == '"':
+				return nil
+			}
+		}
+	}
+	// Number or keyword: everything up to a separator, bracket or space.
+	for {
+		c, err := t.r.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			t.ioErr = err
+			return err
+		}
+		switch c {
+		case ',', '}', ']', ' ', '\t', '\r', '\n':
+			t.r.UnreadByte()
+			return nil
+		}
+		t.off++
+		t.bytesSkipped++
 	}
 }
 

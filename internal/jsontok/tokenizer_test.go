@@ -211,7 +211,8 @@ func TestSkipSubtree(t *testing.T) {
 	}
 }
 
-// TestSkipScalar: skipping a scalar's element drops its queued events.
+// TestSkipScalar: skipping a scalar's element raw-scans its bytes —
+// the value is never decoded and the skipped bytes are counted.
 func TestSkipScalar(t *testing.T) {
 	const in = `{"a":1,"b":2}`
 	tz := NewTokenizer(strings.NewReader(in))
@@ -243,6 +244,50 @@ func TestSkipScalar(t *testing.T) {
 	want := `<root><record><b>%2%</b></record></root>`
 	if b.String() != want {
 		t.Fatalf("after scalar skip:\n got %s\nwant %s", b.String(), want)
+	}
+	if tz.BytesSkipped() != 1 {
+		t.Fatalf("BytesSkipped = %d, want 1 (the digit of a's value)", tz.BytesSkipped())
+	}
+}
+
+// TestSkipScalarString: a skipped string scalar is raw-scanned past its
+// escapes and closing quote; every byte of the value is counted and the
+// stream resumes at the following member.
+func TestSkipScalarString(t *testing.T) {
+	const val = `"br } ace \" and \\ in string"`
+	const in = `{"a":` + val + `,"b":true}`
+	tz := NewTokenizer(strings.NewReader(in))
+	defer tz.Release()
+	var b strings.Builder
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if tok.Kind == event.StartElement && tok.Name == "a" {
+			if err := tz.SkipSubtree(); err != nil {
+				t.Fatalf("SkipSubtree: %v", err)
+			}
+			continue
+		}
+		switch tok.Kind {
+		case event.StartElement:
+			b.WriteString("<" + tok.Name + ">")
+		case event.EndElement:
+			b.WriteString("</" + tok.Name + ">")
+		case event.Text:
+			b.WriteString("%" + tok.Text + "%")
+		}
+	}
+	want := `<root><record><b>%true%</b></record></root>`
+	if b.String() != want {
+		t.Fatalf("after string-scalar skip:\n got %s\nwant %s", b.String(), want)
+	}
+	if tz.BytesSkipped() != int64(len(val)) {
+		t.Fatalf("BytesSkipped = %d, want %d (the whole string value)", tz.BytesSkipped(), len(val))
 	}
 }
 

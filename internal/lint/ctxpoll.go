@@ -6,11 +6,14 @@ import (
 )
 
 // pollPkgs are the packages whose pull loops the pass inspects: the
-// engine (which owns the blocked-evaluator loop) and the shard runner
-// (which owns the splitter producer loop).
+// engine (which owns the blocked-evaluator loop), the shard runner
+// (which owns the splitter producer loop) and the join operator (whose
+// build-side scan iterates buffered tuples without pulling input, so
+// only its own polling keeps cancellation latency bounded).
 var pollPkgs = map[string]bool{
 	"gcx/internal/engine": true,
 	"gcx/internal/shard":  true,
+	"gcx/internal/join":   true,
 }
 
 // CtxPoll enforces the cancellation-latency contract: any for-loop in

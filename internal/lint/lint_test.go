@@ -25,19 +25,20 @@ func TestEventBoundaryFixture(t *testing.T) {
 	}
 }
 
-// TestCtxPollFixture: both seeded pull-without-poll loops fire; the two
-// polling idioms and the out-of-scope package do not.
+// TestCtxPollFixture: all three seeded pull-without-poll loops fire
+// (two in the engine fixture, one in the join fixture); the polling
+// idioms and the out-of-scope package do not.
 func TestCtxPollFixture(t *testing.T) {
 	findings, err := Run("testdata/ctxpoll", []*Analyzer{CtxPoll})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 2 {
-		t.Fatalf("findings = %d, want the two seeded violations:\n%v", len(findings), findings)
+	if len(findings) != 3 {
+		t.Fatalf("findings = %d, want the three seeded violations:\n%v", len(findings), findings)
 	}
 	for _, f := range findings {
-		if !strings.Contains(f.Pos.Filename, "engine/loops.go") {
-			t.Errorf("finding outside the fixture engine package: %v", f)
+		if !strings.Contains(f.Pos.Filename, "engine/loops.go") && !strings.Contains(f.Pos.Filename, "join/loops.go") {
+			t.Errorf("finding outside the fixture engine/join packages: %v", f)
 		}
 	}
 }
@@ -88,6 +89,7 @@ func TestLoadPkgPaths(t *testing.T) {
 	}
 	want := map[string]bool{
 		"gcx/internal/engine": false,
+		"gcx/internal/join":   false,
 		"gcx/internal/other":  false,
 	}
 	for _, f := range files {

@@ -1,0 +1,26 @@
+// Package join is the ctxpoll fixture for the join operator: its
+// build-side scan advances over buffered tuples with a next* helper, so
+// the same polling contract applies. badScan is the seeded violation;
+// okScan shows the accepted idiom.
+package join
+
+type node struct{}
+
+func nextTuple(prev *node) *node { return nil }
+
+func okScan(poll func() error) {
+	cur := nextTuple(nil)
+	for cur != nil {
+		if err := poll(); err != nil {
+			return
+		}
+		cur = nextTuple(cur)
+	}
+}
+
+func badScan() {
+	cur := nextTuple(nil)
+	for cur != nil {
+		cur = nextTuple(cur)
+	}
+}

@@ -12,6 +12,7 @@ package shard
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"sync"
 	"time"
@@ -66,7 +67,10 @@ type Result struct {
 // produced it.
 type task struct {
 	data []byte
-	done chan taskResult
+	// extra is the broadcast build fragment of a join-sharded run,
+	// shared (not copied) across all tasks; nil otherwise.
+	extra []byte
+	done  chan taskResult
 }
 
 type taskResult struct {
@@ -77,6 +81,40 @@ type taskResult struct {
 
 // outBufPool recycles the per-chunk output buffers.
 var outBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// errShardJoinNDJSON guards a route analysis.NDJSONShardable already
+// rejects; reaching it means a caller bypassed the eligibility check.
+var errShardJoinNDJSON = errors.New("shard: join plans cannot shard over NDJSON input")
+
+// joinFragment synthesizes the broadcast build fragment of a
+// join-sharded run: open tags for the build ancestors below the
+// divergence, the captured build subtrees verbatim, the matching close
+// tags, and finally the close tags of the shared ancestors the
+// splitter left open on every chunk. All steps are name tests
+// (analysis.Shardable requires it for join recipes), so the tag names
+// are statically known.
+func joinFragment(info *analysis.ShardInfo, aux []byte) []byte {
+	var b bytes.Buffer
+	steps := info.BuildPath.Steps
+	for _, st := range steps[info.Divergence : len(steps)-1] {
+		b.WriteByte('<')
+		b.WriteString(st.Test.Name)
+		b.WriteByte('>')
+	}
+	b.Write(aux)
+	for i := len(steps) - 2; i >= info.Divergence; i-- {
+		b.WriteString("</")
+		b.WriteString(steps[i].Test.Name)
+		b.WriteByte('>')
+	}
+	shared := info.PartitionPath.Steps
+	for i := info.Divergence - 1; i >= 0; i-- {
+		b.WriteString("</")
+		b.WriteString(shared[i].Test.Name)
+		b.WriteByte('>')
+	}
+	return b.Bytes()
+}
 
 // Execute runs a sharded evaluation of info over input, writing the
 // merged output to output. The reorder window is bounded: at most
@@ -101,7 +139,11 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 	// at newlines with no re-wrapping at all (jsontok). Both deliver
 	// self-contained chunk documents the workers evaluate independently.
 	var nextChunk func() ([]byte, error)
+	var extra []byte
 	if cfg.Exec.Format == core.FormatNDJSON {
+		if info.Join {
+			return nil, errShardJoinNDJSON
+		}
 		sp := jsontok.NewSplitter(input)
 		sp.SetContext(cctx)
 		sp.SetTargetBytes(cfg.ChunkTargetBytes)
@@ -120,6 +162,47 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 		nextChunk = func() ([]byte, error) {
 			c, err := sp.Next()
 			return c.Data, err
+		}
+		if info.Join {
+			// Join runs are two-phase (DESIGN.md §10): the build section
+			// may follow the probe records in document order, so no chunk
+			// can be evaluated before the scan completes. Collect every
+			// chunk first, then broadcast the build fragment — the
+			// captured build subtrees re-wrapped under the ancestors the
+			// splitter left open — to all of them. The reorder window
+			// bound does not apply: a join run holds all chunks in memory.
+			auxSteps := make([]xmltok.SplitStep, len(info.BuildPath.Steps))
+			for i, st := range info.BuildPath.Steps {
+				auxSteps[i] = xmltok.SplitStep{Name: st.Test.Name, Wildcard: st.Test.Kind == xpath.TestWildcard}
+			}
+			sp.CaptureAux(auxSteps, info.Divergence)
+			var chunks [][]byte
+			for {
+				select {
+				case <-cctx.Done():
+					return nil, cctx.Err()
+				default:
+				}
+				data, err := nextChunk()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				chunks = append(chunks, data)
+			}
+			extra = joinFragment(info, sp.AuxData())
+			i := 0
+			nextChunk = func() ([]byte, error) {
+				if i == len(chunks) {
+					return nil, io.EOF
+				}
+				data := chunks[i]
+				chunks[i] = nil
+				i++
+				return data, nil
+			}
 		}
 	}
 
@@ -143,7 +226,7 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 				splitErr = err
 				return
 			}
-			t := &task{data: data, done: make(chan taskResult, 1)}
+			t := &task{data: data, extra: extra, done: make(chan taskResult, 1)}
 			select {
 			case work <- t:
 			case <-cctx.Done():
@@ -164,7 +247,11 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 			for t := range work {
 				buf := outBufPool.Get().(*bytes.Buffer)
 				buf.Reset()
-				res, err := core.ExecuteContext(cctx, info.Inner, bytes.NewReader(t.data), buf, cfg.Exec)
+				var rd io.Reader = bytes.NewReader(t.data)
+				if t.extra != nil {
+					rd = io.MultiReader(rd, bytes.NewReader(t.extra))
+				}
+				res, err := core.ExecuteContext(cctx, info.Inner, rd, buf, cfg.Exec)
 				t.done <- taskResult{out: buf, res: res, err: err}
 			}
 		}()
@@ -209,6 +296,9 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 				agg.BytesSkipped += r.res.BytesSkipped
 				agg.TagsSkipped += r.res.TagsSkipped
 				agg.SubtreesSkipped += r.res.SubtreesSkipped
+				agg.JoinProbeTuples += r.res.JoinProbeTuples
+				agg.JoinBuildTuples += r.res.JoinBuildTuples
+				agg.JoinMatches += r.res.JoinMatches
 				agg.Chunks++
 			}
 		}

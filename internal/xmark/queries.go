@@ -57,6 +57,19 @@ var Queries = map[string]Query{
 }</result>`,
 		Blocking: true,
 	},
+	"Q9": {
+		ID:          "Q9",
+		Description: "For each European item, the prices it sold at (value join items ⋈ closed_auctions; adapted from Q9's three-way join to the two-way GCX fragment).",
+		Text: `<result>{
+  for $i in /site/regions/europe/item return
+    <item>{
+      $i/name,
+      for $t in /site/closed_auctions/closed_auction return
+        if ($t/itemref/@item = $i/@id) then $t/price else ()
+    }</item>
+}</result>`,
+		Blocking: true,
+	},
 	"Q13": {
 		ID:          "Q13",
 		Description: "Names and descriptions of items registered in Australia (original XMark form, using an attribute value template).",
@@ -108,7 +121,7 @@ var Queries = map[string]Query{
 // QueryIDs returns the catalog keys in a stable order (paper order
 // first, extensions last).
 func QueryIDs() []string {
-	order := map[string]int{"Q1": 0, "Q6": 1, "Q8": 2, "Q13": 3, "Q20": 4}
+	order := map[string]int{"Q1": 0, "Q6": 1, "Q8": 2, "Q9": 3, "Q13": 4, "Q20": 5}
 	ids := make([]string, 0, len(Queries))
 	for id := range Queries {
 		ids = append(ids, id)

@@ -130,7 +130,7 @@ func TestQueryIDsOrder(t *testing.T) {
 	if len(ids) != len(Queries) {
 		t.Fatalf("QueryIDs lists %d of %d", len(ids), len(Queries))
 	}
-	want := []string{"Q1", "Q6", "Q8", "Q13", "Q20"}
+	want := []string{"Q1", "Q6", "Q8", "Q9", "Q13", "Q20"}
 	for i, id := range want {
 		if ids[i] != id {
 			t.Fatalf("order[%d] = %s, want %s", i, ids[i], id)

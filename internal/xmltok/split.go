@@ -41,6 +41,18 @@ type Splitter struct {
 	// capturing is true while inside a record subtree.
 	capturing bool
 
+	// Aux capture (join sharding, DESIGN.md §10): subtrees matching
+	// auxPath are copied verbatim into aux on the same scanning pass,
+	// available as one broadcast fragment after the scan. auxDivergence
+	// is the first step index where auxPath departs from path; seal
+	// leaves ancestors above it unclosed so the caller can append the
+	// fragment inside the shared ancestor element.
+	auxPath       []SplitStep
+	auxDivergence int
+	auxDepth      int
+	auxCapturing  bool
+	aux           []byte
+
 	// Current chunk: buf starts with the synthesized ancestor open tags,
 	// then accumulates record bytes. anc are the ancestor names for the
 	// closing tags.
@@ -105,6 +117,26 @@ func (s *Splitter) SetTargetBytes(n int) {
 	}
 }
 
+// CaptureAux additionally captures the raw bytes of every subtree
+// matching aux — a second record path, disjoint from the partition path
+// from step divergence on — into a side buffer (AuxData). Chunks then
+// keep their ancestors above divergence unclosed: the caller appends
+// the aux fragment, re-wrapped with the missing tags, to every chunk
+// document (join sharding's build-side broadcast, DESIGN.md §10).
+// Must be called before the first Next.
+func (s *Splitter) CaptureAux(aux []SplitStep, divergence int) {
+	if len(aux) == 0 || divergence < 1 || divergence >= len(aux) {
+		panic("xmltok: CaptureAux needs a non-empty aux path diverging below the root")
+	}
+	s.auxPath = aux
+	s.auxDivergence = divergence
+}
+
+// AuxData returns the captured aux subtree bytes. Complete only after
+// Next has returned io.EOF: aux subtrees may follow the last record in
+// document order.
+func (s *Splitter) AuxData() []byte { return s.aux }
+
 // Next returns the next chunk of the stream in input order. At end of
 // input it returns io.EOF; malformed nesting is reported as a
 // SyntaxError just as the Tokenizer would.
@@ -166,6 +198,10 @@ func (s *Splitter) text(b []byte) error {
 	}
 	if s.capturing {
 		s.buf = append(s.buf, b...)
+		return nil
+	}
+	if s.auxCapturing {
+		s.aux = append(s.aux, b...)
 		return nil
 	}
 	if s.depth() == 0 && !resolvesToWhitespace(b) {
@@ -237,10 +273,14 @@ func (s *Splitter) markup() error {
 }
 
 // capture returns the chunk buffer as the raw scanner's copy target
-// while inside a record, nil between records.
+// while inside a record, the aux buffer inside an aux subtree, nil
+// elsewhere.
 func (s *Splitter) capture() *[]byte {
 	if s.capturing {
 		return &s.buf
+	}
+	if s.auxCapturing {
+		return &s.aux
 	}
 	return nil
 }
@@ -273,6 +313,13 @@ func (s *Splitter) endTag() error {
 			s.capturing = false
 			s.sealIfFull()
 		}
+	} else if s.auxCapturing {
+		s.aux = append(s.aux, '<', '/')
+		s.aux = append(s.aux, body...)
+		s.aux = append(s.aux, '>')
+		if d == len(s.auxPath) { // aux subtree root closed
+			s.auxCapturing = false
+		}
 	} else if d < len(s.path) && s.records > 0 {
 		// an ancestor of the open chunk's records closed
 		s.seal()
@@ -280,6 +327,9 @@ func (s *Splitter) endTag() error {
 	s.pop()
 	if s.matchDepth > s.depth() {
 		s.matchDepth = s.depth()
+	}
+	if s.auxDepth > s.depth() {
+		s.auxDepth = s.depth()
 	}
 	if s.depth() == 0 {
 		s.rootSeen = true
@@ -305,8 +355,11 @@ func (s *Splitter) startTag() error {
 		return err
 	}
 	d := s.depth()
-	matched := !s.capturing && d == s.matchDepth && d < len(s.path) && s.stepMatches(d, name)
+	matched := !s.capturing && !s.auxCapturing && d == s.matchDepth && d < len(s.path) && s.stepMatches(d, name)
 	isRecord := matched && d+1 == len(s.path)
+	auxMatched := s.auxPath != nil && !s.capturing && !s.auxCapturing &&
+		d == s.auxDepth && d < len(s.auxPath) && s.auxStepMatches(d, name)
+	isAux := auxMatched && d+1 == len(s.auxPath)
 	if isRecord {
 		s.beginChunkIfNeeded()
 		s.records++
@@ -315,6 +368,11 @@ func (s *Splitter) startTag() error {
 		s.buf = append(s.buf, '<')
 		s.buf = append(s.buf, body...)
 		s.buf = append(s.buf, '>')
+	}
+	if s.auxCapturing || isAux {
+		s.aux = append(s.aux, '<')
+		s.aux = append(s.aux, body...)
+		s.aux = append(s.aux, '>')
 	}
 	if selfClose {
 		if isRecord {
@@ -329,10 +387,21 @@ func (s *Splitter) startTag() error {
 	if matched {
 		s.matchDepth = d + 1
 	}
+	if auxMatched {
+		s.auxDepth = d + 1
+	}
 	if isRecord {
 		s.capturing = true
 	}
+	if isAux {
+		s.auxCapturing = true
+	}
 	return nil
+}
+
+func (s *Splitter) auxStepMatches(d int, name []byte) bool {
+	step := s.auxPath[d]
+	return step.Wildcard || step.Name == string(name)
 }
 
 func (s *Splitter) stepMatches(d int, name []byte) bool {
@@ -369,9 +438,15 @@ func (s *Splitter) sealIfFull() {
 }
 
 // seal closes the current chunk: append the ancestor close tags and
-// hand the buffer off as the next ready chunk.
+// hand the buffer off as the next ready chunk. With aux capture active
+// the ancestors above the divergence stay open — the executor appends
+// the aux fragment (which closes them) to every chunk.
 func (s *Splitter) seal() {
-	for i := len(s.anc) - 1; i >= 0; i-- {
+	stop := 0
+	if s.auxPath != nil {
+		stop = s.auxDivergence
+	}
+	for i := len(s.anc) - 1; i >= stop; i-- {
 		s.buf = append(s.buf, '<', '/')
 		s.buf = append(s.buf, s.anc[i]...)
 		s.buf = append(s.buf, '>')

@@ -75,6 +75,66 @@ func content(r *rand.Rand, sb *strings.Builder, depth int) {
 	}
 }
 
+// JoinKeys is the value pool join documents draw keys from: a small
+// alphabet so duplicate keys are common, plus empty values and values
+// carrying entity references (escaped in the document, compared decoded
+// by the engine). Exported so fuzz seeds and tests can reuse it.
+var JoinKeys = []string{"k0", "k1", "k2", "k1", "", "a&amp;b", "l&lt;r", "q&quot;e", " s p "}
+
+// JoinDocument produces a two-section document of the shape JoinQuery
+// queries: probe records under /root/ps/p (children n, k and an id
+// attribute) and build records under /root/bs/b (children k, v and an
+// id attribute). Key values come from JoinKeys; records occasionally
+// carry no key or a second key element, exercising empty-sequence and
+// multi-key existential comparisons.
+func JoinDocument(r *rand.Rand, probeN, buildN int) string {
+	var sb strings.Builder
+	key := func() string {
+		k := "<k>" + JoinKeys[r.Intn(len(JoinKeys))] + "</k>"
+		switch r.Intn(8) {
+		case 0:
+			return "" // no key: existentially matches nothing
+		case 1:
+			return k + "<k>" + JoinKeys[r.Intn(len(JoinKeys))] + "</k>"
+		}
+		return k
+	}
+	sb.WriteString("<root><ps>")
+	for i := 0; i < probeN; i++ {
+		fmt.Fprintf(&sb, `<p id="%d"><n>n%d</n>%s</p>`, i%5, i, key())
+	}
+	sb.WriteString("</ps><bs>")
+	for i := 0; i < buildN; i++ {
+		fmt.Fprintf(&sb, `<b id="%d">%s<v>v%d</v></b>`, i%4, key(), i)
+	}
+	sb.WriteString("</bs></root>")
+	return sb.String()
+}
+
+// JoinQuery produces a random query of the detectable join shape
+// (analysis.DetectJoin) over JoinDocument-shaped inputs: an outer loop
+// over the probe section whose body re-scans the build section keeping
+// equal-keyed records.
+func JoinQuery(r *rand.Rand) string {
+	keyEq := [...]string{
+		"$b/k = $p/k",
+		"$p/k = $b/k",
+		"$b/@id = $p/@id",
+	}[r.Intn(3)]
+	then := [...]string{
+		"$b/v",
+		"$b/k",
+		"<v>{ $b/v }</v>",
+		"($b/v, $b/k)",
+	}[r.Intn(4)]
+	inner := fmt.Sprintf("for $b in /root/bs/b return if (%s) then %s else ()", keyEq, then)
+	body := inner
+	if r.Intn(2) == 0 {
+		body = "<m>{ $p/n, " + inner + " }</m>"
+	}
+	return "<out>{ for $p in /root/ps/p return " + body + " }</out>"
+}
+
 // Query produces a random query over Document-shaped inputs.
 func Query(r *rand.Rand, opts Options) string {
 	g := &gen{r: r, opts: opts}

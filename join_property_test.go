@@ -1,0 +1,159 @@
+package gcx_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"gcx"
+	"gcx/internal/analysis"
+	"gcx/internal/baseline"
+	"gcx/internal/xqgen"
+	"gcx/internal/xqparse"
+)
+
+// domOracle runs the DOM baseline engine on the query, independent of
+// the streaming, join and sharded paths under test.
+func domOracle(t *testing.T, src, doc string) string {
+	t.Helper()
+	q, err := xqparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	plan, err := analysis.Analyze(q)
+	if err != nil {
+		t.Fatalf("analyze: %v\n%s", err, src)
+	}
+	var out bytes.Buffer
+	if _, err := baseline.RunDOM(plan, strings.NewReader(doc), &out, true); err != nil {
+		t.Fatalf("DOM run: %v\nquery: %s\ndoc: %s", err, src, doc)
+	}
+	return out.String()
+}
+
+// TestJoinDifferential: on randomized join documents and queries, the
+// join operator, the nested-loop ablation (DisableJoin), the DOM oracle
+// and sharded execution at 2 and 4 workers must all produce
+// byte-identical output. Key values include duplicates, empties and
+// entity references (xqgen.JoinKeys).
+func TestJoinDifferential(t *testing.T) {
+	sizes := []struct{ probe, build int }{{6, 8}, {40, 25}}
+	for _, seed := range []int64{1, 2} {
+		for _, sz := range sizes {
+			r := rand.New(rand.NewSource(seed))
+			doc := xqgen.JoinDocument(r, sz.probe, sz.build)
+			src := xqgen.JoinQuery(r)
+			label := fmt.Sprintf("seed %d size %dx%d query %s", seed, sz.probe, sz.build, src)
+
+			q, err := gcx.Compile(src)
+			if err != nil {
+				t.Fatalf("%s: compile: %v", label, err)
+			}
+			if q.Report().Join == nil {
+				t.Fatalf("%s: generated join query not detected as a join", label)
+			}
+
+			want := domOracle(t, src, doc)
+
+			joinOut, jres, err := q.ExecuteString(doc, gcx.Options{})
+			if err != nil {
+				t.Fatalf("%s: join run: %v", label, err)
+			}
+			if jres.JoinProbeTuples != int64(sz.probe) {
+				t.Fatalf("%s: JoinProbeTuples = %d, want %d (operator did not run?)",
+					label, jres.JoinProbeTuples, sz.probe)
+			}
+			if joinOut != want {
+				t.Fatalf("%s: join output differs from DOM\ndoc: %s\n got: %q\nwant: %q",
+					label, doc, joinOut, want)
+			}
+
+			nestOut, nres, err := q.ExecuteString(doc, gcx.Options{DisableJoin: true})
+			if err != nil {
+				t.Fatalf("%s: nested run: %v", label, err)
+			}
+			if nres.JoinProbeTuples != 0 || nres.JoinMatches != 0 {
+				t.Fatalf("%s: DisableJoin still ran the operator: %+v", label, nres)
+			}
+			if nestOut != want {
+				t.Fatalf("%s: nested-loop output differs from DOM\ndoc: %s\n got: %q\nwant: %q",
+					label, doc, nestOut, want)
+			}
+
+			for _, shards := range []int{2, 4} {
+				shardOut, sres, err := q.ExecuteString(doc, gcx.Options{Shards: shards})
+				if err != nil {
+					t.Fatalf("%s: sharded run (%d): %v", label, shards, err)
+				}
+				if sres.ShardsUsed != shards {
+					t.Fatalf("%s: ShardsUsed = %d, want %d (join shard recipe fell back?)",
+						label, sres.ShardsUsed, shards)
+				}
+				if shardOut != want {
+					t.Fatalf("%s: sharded (%d) output differs from DOM\ndoc: %s\n got: %q\nwant: %q",
+						label, shards, doc, shardOut, want)
+				}
+			}
+		}
+	}
+}
+
+// escapeXMLText renders an arbitrary string as XML character data.
+var escapeXMLText = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;").Replace
+
+// FuzzJoinKeys pins join/nested/sharded agreement on adversarial key
+// values: duplicates, empty strings, entity references, whitespace —
+// whatever the fuzzer grows from the seeds below.
+func FuzzJoinKeys(f *testing.F) {
+	f.Add("k1", "k1", "k2")
+	f.Add("", "", "x")
+	f.Add("a&b", "a&b", "<")
+	f.Add("dup", "dup", "dup")
+	f.Add(`q"e`, " s p ", "\tk\t")
+	const src = `<out>{ for $p in /root/ps/p return <m>{ $p/n, for $b in /root/bs/b return if ($b/k = $p/k) then $b/v else () }</m> }</out>`
+	q, err := gcx.Compile(src)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if q.Report().Join == nil {
+		f.Fatal("fuzz query not detected as a join")
+	}
+	f.Fuzz(func(t *testing.T, k1, k2, k3 string) {
+		for _, k := range []string{k1, k2, k3} {
+			if !utf8.ValidString(k) {
+				t.Skip("not valid UTF-8")
+			}
+			for _, r := range k {
+				if r < 0x20 && r != '\t' && r != '\n' && r != '\r' {
+					t.Skip("control character invalid in XML")
+				}
+			}
+		}
+		doc := fmt.Sprintf(`<root><ps><p><n>n0</n><k>%s</k></p><p><n>n1</n><k>%s</k></p></ps>`+
+			`<bs><b><k>%s</k><v>v0</v></b><b><k>%s</k><v>v1</v></b><b><k>%s</k><v>v2</v></b></bs></root>`,
+			escapeXMLText(k1), escapeXMLText(k2),
+			escapeXMLText(k2), escapeXMLText(k3), escapeXMLText(k1))
+
+		joinOut, _, jerr := q.ExecuteString(doc, gcx.Options{})
+		nestOut, _, nerr := q.ExecuteString(doc, gcx.Options{DisableJoin: true})
+		if (jerr == nil) != (nerr == nil) {
+			t.Fatalf("error disagreement: join %v, nested %v\ndoc: %s", jerr, nerr, doc)
+		}
+		if jerr != nil {
+			return // both reject the document identically
+		}
+		if joinOut != nestOut {
+			t.Fatalf("join and nested outputs differ\ndoc: %s\njoin:   %q\nnested: %q", doc, joinOut, nestOut)
+		}
+		shardOut, _, serr := q.ExecuteString(doc, gcx.Options{Shards: 3})
+		if serr != nil {
+			t.Fatalf("sharded run errors where sequential succeeded: %v\ndoc: %s", serr, doc)
+		}
+		if shardOut != joinOut {
+			t.Fatalf("sharded output differs\ndoc: %s\nsharded:    %q\nsequential: %q", doc, shardOut, joinOut)
+		}
+	})
+}

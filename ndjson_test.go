@@ -238,4 +238,14 @@ func TestNDJSONSkipCounters(t *testing.T) {
 	if sres.SubtreesSkipped == 0 || sres.BytesSkipped == 0 {
 		t.Fatalf("no skip counters from sharded run: subtrees=%d bytes=%d", sres.SubtreesSkipped, sres.BytesSkipped)
 	}
+	// J2 descends into the item object, so its skips are scalar-valued
+	// members. Scalars parse lazily, so even these count raw bytes.
+	q2 := gcx.MustCompile(xmark.NDJSONQueries["J2"].Text)
+	_, res2, err := q2.ExecuteString(nd, gcx.Options{Format: gcx.FormatNDJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SubtreesSkipped == 0 || res2.BytesSkipped == 0 {
+		t.Fatalf("scalar-level skips count no bytes: subtrees=%d bytes=%d", res2.SubtreesSkipped, res2.BytesSkipped)
+	}
 }
