@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check lint bench bench-json benchstat fuzz-smoke
+.PHONY: all build test race check lint bench bench-json benchstat loadtest fuzz-smoke
 
 all: build
 
@@ -23,7 +23,8 @@ check: build race lint
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
 
 # lint runs the repo's architectural passes (internal/lint): the
-# tokenizer import boundary and the cancellation-polling contract.
+# tokenizer import boundary, the cancellation-polling contract and the
+# observability naming/logging conventions (obsnames).
 # staticcheck and govulncheck ride along warn-only when installed —
 # the build container has no module proxy, so they cannot be hard
 # dependencies.
@@ -57,6 +58,14 @@ benchstat:
 	jq -r '.entries[].gobench' BENCH_gcx.json > /tmp/bench_old.txt
 	jq -r '.entries[].gobench' /tmp/BENCH_gcx.new.json > /tmp/bench_new.txt
 	-$(GO) run golang.org/x/perf/cmd/benchstat@latest /tmp/bench_old.txt /tmp/bench_new.txt
+
+# loadtest regenerates the committed BENCH_gcxd.json serving-path
+# baseline: gcxload drives an in-process gcxd over the default
+# query×shards catalog and writes client-observed p50/p95/p99 latency,
+# throughput and error rate per cell (DESIGN.md §11). CI runs a shorter
+# window (see ci.yml); widen locally with e.g. -duration 10s -c 8.
+loadtest:
+	$(GO) run ./cmd/gcxload -duration 2s -warmup 500ms -json BENCH_gcxd.json
 
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzTokenizer -fuzztime 10s ./internal/xmltok

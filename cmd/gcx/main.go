@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		maxNodes    = fs.Int64("max-nodes", 0, "node budget: abort with an error if the buffer would exceed this many nodes (0 = unlimited; per worker under -shards)")
 		strict      = fs.Bool("strict", false, "reject statically unbounded queries at compile time")
 		showStats   = fs.Bool("stats", false, "print run statistics to stderr")
+		showTrace   = fs.Bool("trace", false, "print the per-phase execution trace to stderr")
 		plotEvery   = fs.Int64("plot", 0, "emit a buffer plot sample to stderr every N tokens")
 		shards      = fs.Int("shards", 1, "parallel engine instances for partitionable queries (0/1 = sequential)")
 		noJoin      = fs.Bool("no-join", false, "disable the streaming hash join operator (nested-loop baseline for detected joins)")
@@ -130,7 +131,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		format = gcx.DetectPathFormat(*inputFile)
 	}
 
-	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards, Format: format, MaxBufferedNodes: *maxNodes, DisableJoin: *noJoin}
+	opts := gcx.Options{EnableAggregation: *agg, RecordEvery: *plotEvery, Shards: *shards, Format: format, MaxBufferedNodes: *maxNodes, DisableJoin: *noJoin, EnableTrace: *showTrace}
 	switch *engineName {
 	case "gcx":
 		opts.Engine = gcx.EngineGCX
@@ -166,6 +167,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		for _, p := range res.Series {
 			fmt.Fprintf(stderr, "%d\t%d\n", p.Token, p.Nodes)
 		}
+	}
+	if *showTrace {
+		fmt.Fprint(stderr, "trace:")
+		for _, p := range res.Trace {
+			fmt.Fprintf(stderr, " %s=%s", p.Phase, p.Duration())
+		}
+		fmt.Fprintf(stderr, " wall=%s\n", res.Duration)
 	}
 	if *showStats {
 		fmt.Fprintf(stderr,

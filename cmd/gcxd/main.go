@@ -1,15 +1,17 @@
 // Command gcxd is the GCX query server: a concurrent HTTP front end
-// over the streaming engine. Each request carries an XQuery (header or
-// URL parameter) plus the XML input as the request body; the serialized
-// result streams back as the response body while the input is still
-// being read, so neither side is ever buffered whole. Compiled queries
-// are shared across requests through a thread-safe LRU cache, and every
-// execution runs under the request's context — a disconnecting client
-// cancels its run within one input token.
+// over the streaming engine (implemented in gcx/internal/gcxd, so tests
+// and the gcxload harness can run it in-process). Each request carries
+// an XQuery (header or URL parameter) plus the XML input as the request
+// body; the serialized result streams back as the response body while
+// the input is still being read, so neither side is ever buffered
+// whole. Compiled queries are shared across requests through a
+// thread-safe LRU cache, and every execution runs under the request's
+// context — a disconnecting client cancels its run within one input
+// token.
 //
 // Usage:
 //
-//	gcxd [-addr :8090] [-cache 256]
+//	gcxd [-addr :8090] [-cache 256] [-max-inflight 0] [-pprof-addr ""] [-log text]
 //
 //	curl -X POST --data-binary @bib.xml \
 //	     'http://localhost:8090/query?query=<out>{ for $b in /bib/book return $b/title }</out>'
@@ -21,6 +23,8 @@
 //	GET  /healthz liveness probe
 //	GET  /stats   JSON counters: requests, cache hits/misses, bytes out,
 //	              buffer watermarks, budget rejections/trips
+//	GET  /metrics the same registry in Prometheus text exposition format,
+//	              plus request latency/size histograms (DESIGN.md §11)
 //
 // POST /query reads the query text from the X-GCX-Query header or the
 // "query" URL parameter, and the input document from the request body.
@@ -36,15 +40,19 @@
 // queries are rejected up front with 413 and the analyzer's reason, and
 // a runtime overrun aborts the run with 413 (or the X-Gcx-Error trailer
 // once streaming has begun) instead of buffering without limit.
-// Execution statistics arrive as HTTP trailers (X-Gcx-Tokens,
-// X-Gcx-Peak-Nodes, X-Gcx-Peak-Bytes, X-Gcx-Shards); an error after
-// streaming has begun is reported in the X-Gcx-Error trailer, since the
-// status line is already on the wire.
+// trace=1 enables per-phase execution timing; the phase breakdown
+// arrives as JSON in the X-Gcx-Trace trailer. Execution statistics
+// arrive as HTTP trailers (X-Gcx-Tokens, X-Gcx-Peak-Nodes,
+// X-Gcx-Peak-Bytes, X-Gcx-Shards); an error after streaming has begun
+// is reported in the X-Gcx-Error trailer, since the status line is
+// already on the wire.
 //
-// GET /explain takes the same query sources (X-GCX-Query header or
-// ?query=) and returns the structured gcx.ExplainReport — projection
-// roles, rewritten query, streamability class with its static node
-// bound, skip and shard verdicts — without executing anything.
+// -max-inflight bounds concurrently executing queries; above it the
+// server sheds load with 503 + Retry-After instead of queueing without
+// bound. -pprof-addr starts a second, admin-only listener serving
+// net/http/pprof (kept off the query port so profiling endpoints are
+// never exposed to query clients). -log selects text or json slog
+// output; every request logs one structured line.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries for up to -drain before exiting.
@@ -52,30 +60,44 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
-	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"gcx"
+	"gcx/internal/gcxd"
 )
 
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	cacheSize := flag.Int("cache", 256, "compiled-query cache capacity")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline: how long in-flight queries may finish after SIGINT/SIGTERM")
+	maxInflight := flag.Int("max-inflight", 0, "maximum concurrently executing queries; above it requests get 503 + Retry-After (0 = unlimited)")
+	pprofAddr := flag.String("pprof-addr", "", "admin listen address for net/http/pprof (empty = disabled; keep it private)")
+	logFormat := flag.String("log", "text", "request log format: text or json")
 	flag.Parse()
 
-	srv := newServer(*cacheSize)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		slog.Error("unknown -log format (want text or json)", "format", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	srv := gcxd.NewServer(gcxd.Config{
+		CacheSize:   *cacheSize,
+		MaxInflight: *maxInflight,
+		Logger:      logger,
+	})
 	// No ReadTimeout/WriteTimeout: query streams are legitimately
 	// long-lived. Header and idle timeouts keep stalled connections
 	// from pinning handler goroutines forever.
@@ -86,6 +108,25 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// The pprof listener is its own server on its own port: profiling
+	// endpoints never share an address with query traffic, so a firewall
+	// rule on one port covers them all.
+	if *pprofAddr != "" {
+		admin := http.NewServeMux()
+		admin.HandleFunc("/debug/pprof/", pprof.Index)
+		admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		as := &http.Server{Addr: *pprofAddr, Handler: admin, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := as.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
+
 	// Graceful drain: the first SIGINT/SIGTERM stops accepting new
 	// connections and lets in-flight queries run to completion within
 	// the -drain deadline; streams still open at the deadline are cut.
@@ -94,337 +135,25 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("gcxd listening on %s", *addr)
+	logger.Info("gcxd listening", "addr", *addr, "max_inflight", *maxInflight)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 		stop() // a second signal kills the process immediately
-		log.Printf("gcxd draining (deadline %s)", *drain)
+		logger.Info("gcxd draining", "deadline", *drain)
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
-			log.Printf("gcxd drain incomplete: %v", err)
+			logger.Warn("drain incomplete", "err", err)
 			hs.Close()
 		}
 		if err := <-errc; err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("gcxd stopped")
+		logger.Info("gcxd stopped")
 	}
-}
-
-// server is the gcxd HTTP handler; it is safe for concurrent use.
-type server struct {
-	mux   *http.ServeMux
-	cache *gcx.QueryCache
-
-	requests atomic.Int64
-	errors   atomic.Int64
-	bytesOut atomic.Int64
-
-	// Sharded-execution counters: requests that asked for shards > 1,
-	// worker instances launched and chunks processed on their behalf,
-	// and requests that fell back to the sequential engine because the
-	// query was not partitionable.
-	shardedRequests atomic.Int64
-	shardWorkers    atomic.Int64
-	shardChunks     atomic.Int64
-	shardFallbacks  atomic.Int64
-
-	// Subtree-skipping counters (DESIGN.md §7): input bytes the engines
-	// fast-forwarded past without tokenizing, and fast-forwards taken.
-	bytesSkipped    atomic.Int64
-	subtreesSkipped atomic.Int64
-
-	// jsonRequests counts requests that selected the JSON/NDJSON front
-	// end via ?format= (DESIGN.md §8).
-	jsonRequests atomic.Int64
-
-	// Streaming-join counters (DESIGN.md §10): probe bindings, build
-	// tuples and matched emissions across all runs of detected joins.
-	joinProbeTuples atomic.Int64
-	joinBuildTuples atomic.Int64
-	joinMatches     atomic.Int64
-
-	// Budget accounting (DESIGN.md §9): requests rejected at admission
-	// because a ?max_nodes= budget met a statically-unbounded query, and
-	// runs aborted because the buffer hit the budget at runtime.
-	budgetRejections atomic.Int64
-	budgetTrips      atomic.Int64
-
-	// Lifetime buffer high-water marks across all requests, in the
-	// engine's node/byte metrics.
-	peakNodes atomic.Int64
-	peakBytes atomic.Int64
-}
-
-// observePeaks folds one run's buffer watermarks into the server-wide
-// high-water marks (atomic compare-and-swap max).
-func (s *server) observePeaks(res *gcx.Result) {
-	if res == nil {
-		return
-	}
-	for {
-		cur := s.peakNodes.Load()
-		if res.PeakBufferedNodes <= cur || s.peakNodes.CompareAndSwap(cur, res.PeakBufferedNodes) {
-			break
-		}
-	}
-	for {
-		cur := s.peakBytes.Load()
-		if res.PeakBufferedBytes <= cur || s.peakBytes.CompareAndSwap(cur, res.PeakBufferedBytes) {
-			break
-		}
-	}
-}
-
-// observeJoin folds one run's join counters into the server totals.
-// Budget-tripped runs contribute their partial counts: how far the
-// probe/build sides got before the breach is exactly what an operator
-// sizing max_nodes wants to see.
-func (s *server) observeJoin(res *gcx.Result) {
-	if res == nil {
-		return
-	}
-	s.joinProbeTuples.Add(res.JoinProbeTuples)
-	s.joinBuildTuples.Add(res.JoinBuildTuples)
-	s.joinMatches.Add(res.JoinMatches)
-}
-
-func newServer(cacheSize int) *server {
-	s := &server{
-		mux:   http.NewServeMux(),
-		cache: gcx.NewQueryCache(cacheSize),
-	}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/explain", s.handleExplain)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	return s
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
-}
-
-// optionsFromRequest maps URL parameters to execution options.
-func optionsFromRequest(r *http.Request) (gcx.Options, error) {
-	var opts gcx.Options
-	switch eng := r.URL.Query().Get("engine"); eng {
-	case "", "gcx":
-		opts.Engine = gcx.EngineGCX
-	case "projection":
-		opts.Engine = gcx.EngineProjectionOnly
-	case "dom":
-		opts.Engine = gcx.EngineDOM
-	default:
-		return opts, fmt.Errorf("unknown engine %q (want gcx, projection or dom)", eng)
-	}
-	switch so := r.URL.Query().Get("signoff"); so {
-	case "", "deferred":
-		opts.SignOffMode = gcx.SignOffDeferred
-	case "eager":
-		opts.SignOffMode = gcx.SignOffEager
-	default:
-		return opts, fmt.Errorf("unknown signoff mode %q (want deferred or eager)", so)
-	}
-	if agg := r.URL.Query().Get("agg"); agg == "1" || agg == "true" {
-		opts.EnableAggregation = true
-	}
-	if sh := r.URL.Query().Get("shards"); sh != "" {
-		n, err := strconv.Atoi(sh)
-		if err != nil || n < 1 || n > gcx.MaxShards {
-			return opts, fmt.Errorf("invalid shards %q (want 1..%d)", sh, gcx.MaxShards)
-		}
-		opts.Shards = n
-	}
-	format, err := gcx.ParseFormat(r.URL.Query().Get("format"))
-	if err != nil {
-		return opts, err
-	}
-	opts.Format = format
-	if mn := r.URL.Query().Get("max_nodes"); mn != "" {
-		n, err := strconv.ParseInt(mn, 10, 64)
-		if err != nil || n < 1 {
-			return opts, fmt.Errorf("invalid max_nodes %q (want a positive node count)", mn)
-		}
-		opts.MaxBufferedNodes = n
-	}
-	return opts, nil
-}
-
-// contentType maps the request's input format to the response body's
-// media type: XML results for XML input, JSON lines otherwise. Auto is
-// reported as XML — the historical default — since the body's real
-// format is only known after sniffing begins streaming.
-func contentType(f gcx.Format) string {
-	switch f {
-	case gcx.FormatJSON, gcx.FormatNDJSON:
-		return "application/x-ndjson"
-	default:
-		return "application/xml"
-	}
-}
-
-// countingWriter tracks whether (and how much of) the response body has
-// hit the wire, which decides between a clean error status and an error
-// trailer on a stream that already started.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use POST with the XML document as request body")
-		return
-	}
-	src := r.Header.Get("X-GCX-Query")
-	if src == "" {
-		src = r.URL.Query().Get("query")
-	}
-	if src == "" {
-		s.fail(w, http.StatusBadRequest, "missing query: pass the X-GCX-Query header or the ?query= parameter")
-		return
-	}
-	opts, err := optionsFromRequest(r)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	q, err := s.cache.Get(src)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "compile error: "+err.Error())
-		return
-	}
-	if opts.MaxBufferedNodes > 0 {
-		// Admission control: a budget-carrying request with a query the
-		// analyzer proved unbounded can only end in a mid-stream abort,
-		// so reject it up front with the analyzer's reason. Detected
-		// joins are exempt: they are classified unbounded (the build side
-		// is buffered to end of input), but the join operator enforces
-		// the budget on the build table and degrades gracefully with
-		// partial statistics, surfacing as a budget_trip below — the
-		// budget is exactly the knob that makes such a query admissible.
-		if rep := q.Report(); rep.Streamability == "unbounded" && rep.Join == nil {
-			s.budgetRejections.Add(1)
-			s.fail(w, http.StatusRequestEntityTooLarge,
-				"query is statically unbounded and cannot run under max_nodes: "+rep.StreamabilityReason)
-			return
-		}
-	}
-
-	w.Header().Set("Content-Type", contentType(opts.Format))
-	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Peak-Bytes, X-Gcx-Shards, X-Gcx-Bytes-Skipped")
-	cw := &countingWriter{w: w}
-	res, err := q.ExecuteContext(r.Context(), r.Body, cw, opts)
-	s.bytesOut.Add(cw.n)
-	if err != nil {
-		s.observePeaks(res) // budget trips still report the partial run's watermark
-		s.observeJoin(res)
-		if errors.Is(err, gcx.ErrBufferBudget) {
-			s.budgetTrips.Add(1)
-			if cw.n == 0 {
-				s.fail(w, http.StatusRequestEntityTooLarge, "buffer budget exceeded: "+err.Error())
-				return
-			}
-		} else if cw.n == 0 {
-			// Nothing streamed yet: the status line is still ours.
-			s.fail(w, http.StatusUnprocessableEntity, "execution error: "+err.Error())
-			return
-		}
-		s.errors.Add(1)
-		w.Header().Set("X-Gcx-Error", err.Error())
-		return
-	}
-	s.observePeaks(res)
-	s.observeJoin(res)
-	if opts.Shards > 1 {
-		s.shardedRequests.Add(1)
-		s.shardWorkers.Add(int64(res.ShardsUsed))
-		s.shardChunks.Add(int64(res.Chunks))
-		if res.ShardsUsed == 1 {
-			s.shardFallbacks.Add(1)
-		}
-	}
-	s.bytesSkipped.Add(res.BytesSkipped)
-	s.subtreesSkipped.Add(res.SubtreesSkipped)
-	if opts.Format == gcx.FormatJSON || opts.Format == gcx.FormatNDJSON {
-		s.jsonRequests.Add(1)
-	}
-	w.Header().Set("X-Gcx-Tokens", fmt.Sprint(res.TokensProcessed))
-	w.Header().Set("X-Gcx-Peak-Nodes", fmt.Sprint(res.PeakBufferedNodes))
-	w.Header().Set("X-Gcx-Peak-Bytes", fmt.Sprint(res.PeakBufferedBytes))
-	w.Header().Set("X-Gcx-Shards", fmt.Sprint(res.ShardsUsed))
-	w.Header().Set("X-Gcx-Bytes-Skipped", fmt.Sprint(res.BytesSkipped))
-}
-
-// handleExplain compiles the query and returns the analyzer's
-// structured report without executing it — the server-side form of
-// `gcx -explain-json`.
-func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	src := r.Header.Get("X-GCX-Query")
-	if src == "" {
-		src = r.URL.Query().Get("query")
-	}
-	if src == "" {
-		s.fail(w, http.StatusBadRequest, "missing query: pass the X-GCX-Query header or the ?query= parameter")
-		return
-	}
-	q, err := s.cache.Get(src)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "compile error: "+err.Error())
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(q.Report())
-}
-
-func (s *server) fail(w http.ResponseWriter, code int, msg string) {
-	s.errors.Add(1)
-	http.Error(w, msg, code)
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, "ok\n")
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	hits, misses := s.cache.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"requests":         s.requests.Load(),
-		"errors":           s.errors.Load(),
-		"bytes_out":        s.bytesOut.Load(),
-		"cache_len":        s.cache.Len(),
-		"cache_hits":       hits,
-		"cache_misses":     misses,
-		"sharded_requests": s.shardedRequests.Load(),
-		"shard_workers":    s.shardWorkers.Load(),
-		"shard_chunks":     s.shardChunks.Load(),
-		"shard_fallbacks":  s.shardFallbacks.Load(),
-		"bytes_skipped":    s.bytesSkipped.Load(),
-		"subtrees_skipped": s.subtreesSkipped.Load(),
-		"json_requests":    s.jsonRequests.Load(),
-		// Streaming-join totals (DESIGN.md §10).
-		"join_probe_tuples": s.joinProbeTuples.Load(),
-		"join_build_tuples": s.joinBuildTuples.Load(),
-		"join_matches":      s.joinMatches.Load(),
-		// Buffer watermarks and budget accounting (DESIGN.md §9).
-		"peak_buffered_nodes": s.peakNodes.Load(),
-		"peak_buffered_bytes": s.peakBytes.Load(),
-		"budget_rejections":   s.budgetRejections.Load(),
-		"budget_trips":        s.budgetTrips.Load(),
-	})
 }

@@ -44,6 +44,11 @@ type ExplainReport struct {
 	// two-variable equality join (DESIGN.md §10); nil when the query has
 	// none and runs pure nested-loop evaluation.
 	Join *JoinReport `json:"join,omitempty"`
+	// TracePhases is a run's per-phase wall-time breakdown. The static
+	// report leaves it empty; callers that executed the query with
+	// Options.EnableTrace attach Result.Trace here (cmd/gcx -trace
+	// does) and Text renders it as a Trace section.
+	TracePhases []TracePhase `json:"trace,omitempty"`
 }
 
 // BoundReport is the static node budget of a bounded query:
@@ -195,6 +200,15 @@ func (r ExplainReport) Text() string {
 		b.WriteString("Join: " + r.Join.Strategy +
 			" — probe " + r.Join.ProbePath + " key " + r.Join.ProbeKey +
 			" ⋈ build " + r.Join.BuildPath + " key " + r.Join.BuildKey + "\n")
+	}
+	if len(r.TracePhases) > 0 {
+		b.WriteString("Trace:\n")
+		var total int64
+		for _, p := range r.TracePhases {
+			fmt.Fprintf(&b, "  %-10s %s\n", p.Phase, p.Duration())
+			total += p.Nanos
+		}
+		fmt.Fprintf(&b, "  %-10s %s\n", "total", TracePhase{Nanos: total}.Duration())
 	}
 	return b.String()
 }

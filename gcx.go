@@ -38,6 +38,7 @@ import (
 	"gcx/internal/buffer"
 	"gcx/internal/core"
 	"gcx/internal/engine"
+	"gcx/internal/obs"
 	"gcx/internal/shard"
 )
 
@@ -208,7 +209,28 @@ type Options struct {
 	// either way; the switch exists for A/B measurements and
 	// differential tests.
 	DisableJoin bool
+	// EnableTrace records per-phase wall time (DESIGN.md §11) into
+	// Result.Trace: compile, setup, stream, join_build/join_probe,
+	// split/merge (sharded runs) and eval. For sequential runs the
+	// phases after compile sum to Result.Duration exactly; sharded
+	// runs sum worker phases across workers, so their total can exceed
+	// the wall time. Off by default — the stamps cost two monotonic
+	// clock reads per evaluator pull when on.
+	EnableTrace bool
 }
+
+// TracePhase is one phase of an execution trace (Options.EnableTrace):
+// a stage name and the cumulative wall time spent in it.
+type TracePhase struct {
+	// Phase is the stage: compile, setup, stream, join_build,
+	// join_probe, split, merge or eval.
+	Phase string `json:"phase"`
+	// Nanos is the cumulative wall time in nanoseconds.
+	Nanos int64 `json:"nanos"`
+}
+
+// Duration returns the phase time as a time.Duration.
+func (p TracePhase) Duration() time.Duration { return time.Duration(p.Nanos) }
 
 // Role describes one projection path derived by static analysis.
 type Role struct {
@@ -288,6 +310,10 @@ type Result struct {
 	// Chunks is the number of input partitions of a sharded run
 	// (0 for sequential runs).
 	Chunks int
+	// Trace is the per-phase wall-time breakdown of the run, starting
+	// with the query's compile time; nil unless Options.EnableTrace was
+	// set.
+	Trace []TracePhase
 }
 
 // Query is a compiled query, reusable across executions. A Query is
@@ -301,6 +327,9 @@ type Query struct {
 	// query must run sequentially, with shardReason saying why.
 	shardInfo   *analysis.ShardInfo
 	shardReason string
+	// compileNanos is the wall time Compile spent on this query,
+	// reported as the trace's compile phase.
+	compileNanos int64
 }
 
 // CompileOptions exposes the static-analysis ablation switches. The
@@ -333,6 +362,7 @@ func Compile(src string) (*Query, error) {
 
 // CompileWithOptions compiles with explicit analysis switches.
 func CompileWithOptions(src string, opts CompileOptions) (*Query, error) {
+	start := time.Now()
 	plan, err := core.CompileWithOptions(src, analysis.Options{
 		DisableFirstWitness: opts.DisableFirstWitness,
 		CoarseGranularity:   opts.CoarseGranularity,
@@ -345,6 +375,7 @@ func CompileWithOptions(src string, opts CompileOptions) (*Query, error) {
 	}
 	q := &Query{plan: plan}
 	q.shardInfo, q.shardReason = analysis.Shardable(plan)
+	q.compileNanos = int64(time.Since(start))
 	return q, nil
 }
 
@@ -410,6 +441,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		Format:            opts.Format.core(),
 		MaxBufferedNodes:  opts.MaxBufferedNodes,
 		DisableJoin:       opts.DisableJoin,
+		Trace:             opts.EnableTrace,
 	}
 	switch opts.Engine {
 	case EngineGCX:
@@ -461,6 +493,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 			Duration:           sres.Duration,
 			ShardsUsed:         shards,
 			Chunks:             sres.Chunks,
+			Trace:              q.trace(opts, sres.Phases),
 		}, nil
 	}
 	res, err := core.ExecuteContext(ctx, q.plan, input, output, execOpts)
@@ -485,11 +518,27 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 		JoinMatches:        res.JoinMatches,
 		Duration:           res.Duration,
 		ShardsUsed:         1,
+		Trace:              q.trace(opts, res.Phases),
 	}
 	for _, p := range res.Series {
 		out.Series = append(out.Series, SeriesPoint{Token: p.Token, Nodes: p.Nodes, Bytes: p.Bytes})
 	}
 	return out, err
+}
+
+// trace converts a run's internal phase times into the public Result
+// form, prefixed with the query's compile time; nil unless tracing was
+// requested.
+func (q *Query) trace(opts Options, phases []obs.PhaseTime) []TracePhase {
+	if !opts.EnableTrace {
+		return nil
+	}
+	out := make([]TracePhase, 0, len(phases)+1)
+	out = append(out, TracePhase{Phase: obs.PhaseCompile.String(), Nanos: q.compileNanos})
+	for _, p := range phases {
+		out = append(out, TracePhase{Phase: p.Phase, Nanos: p.Nanos})
+	}
+	return out
 }
 
 // formatShardable reports whether sharded execution is available for

@@ -13,6 +13,7 @@ import (
 	"gcx/internal/analysis"
 	"gcx/internal/baseline"
 	"gcx/internal/engine"
+	"gcx/internal/obs"
 	"gcx/internal/stats"
 	"gcx/internal/xqparse"
 )
@@ -105,6 +106,12 @@ type ExecOptions struct {
 	// nested loops instead of the streaming hash join; for ablation and
 	// differential testing. Output is identical either way.
 	DisableJoin bool
+	// Trace records per-phase wall time (DESIGN.md §11): setup (format
+	// resolution, source/sink construction), the engine's stream/join
+	// phases, and eval as the remainder — so a sequential run's phases
+	// sum to Duration exactly. Off by default; the stamps cost two
+	// monotonic reads per evaluator pull when on.
+	Trace bool
 }
 
 // ExecResult combines the engine statistics with timing and the
@@ -113,6 +120,9 @@ type ExecResult struct {
 	engine.Result
 	Duration time.Duration
 	Series   []stats.Point
+	// Phases is the per-phase wall-time trace (nil unless
+	// ExecOptions.Trace was set).
+	Phases []obs.PhaseTime
 }
 
 // Execute runs a compiled plan over input, writing the result to
@@ -132,6 +142,10 @@ func Execute(plan *analysis.Plan, input io.Reader, output io.Writer, opts ExecOp
 // per-run state lives in the engine instance created here.
 func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, output io.Writer, opts ExecOptions) (*ExecResult, error) {
 	start := time.Now()
+	var timer *obs.Timer
+	if opts.Trace {
+		timer = new(obs.Timer)
+	}
 	format, input, err := ResolveFormat(opts.Format, input)
 	if err != nil {
 		return nil, err
@@ -145,6 +159,21 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 		src.Release()
 		return nil, err
 	}
+	if timer != nil {
+		timer.Add(obs.PhaseSetup, time.Since(start))
+	}
+	// finish completes the trace: eval is the wall-time remainder after
+	// every stamped phase, so the phases sum to Duration exactly.
+	finish := func(res *engine.Result) *ExecResult {
+		out := &ExecResult{Result: *res, Duration: time.Since(start)}
+		if timer != nil {
+			if rest := int64(out.Duration) - timer.Sum(); rest > 0 {
+				timer.AddNanos(obs.PhaseEval, rest)
+			}
+			out.Phases = timer.Phases()
+		}
+		return out
+	}
 	var res *engine.Result
 	var rec *stats.Recorder
 	switch opts.Engine {
@@ -156,6 +185,7 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 			DisableSkip:       opts.DisableSkip,
 			MaxBufferedNodes:  opts.MaxBufferedNodes,
 			DisableJoin:       opts.DisableJoin,
+			Timer:             timer,
 		}
 		if opts.RecordEvery > 0 {
 			rec = stats.NewRecorder(opts.RecordEvery)
@@ -180,11 +210,11 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 		// Budget breaches carry the partial statistics (how far the run
 		// got before degrading); other errors return nil as before.
 		if res != nil {
-			return &ExecResult{Result: *res, Duration: time.Since(start)}, err
+			return finish(res), err
 		}
 		return nil, err
 	}
-	out := &ExecResult{Result: *res, Duration: time.Since(start)}
+	out := finish(res)
 	if rec != nil {
 		out.Series = rec.Points
 	}

@@ -15,10 +15,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"gcx/internal/analysis"
 	"gcx/internal/buffer"
 	"gcx/internal/event"
+	"gcx/internal/obs"
 	"gcx/internal/projection"
 	"gcx/internal/stats"
 	"gcx/internal/xpath"
@@ -66,6 +68,11 @@ type Config struct {
 	DisableJoin bool
 	// Recorder, if non-nil, samples the buffer size per input token.
 	Recorder *stats.Recorder
+	// Timer, if non-nil, accumulates per-phase wall time (DESIGN.md
+	// §11): ensure's pull loop into PhaseStream, the join operator's
+	// scan and replay into PhaseJoinBuild/PhaseJoinProbe. A nil Timer
+	// is the default and costs nothing on the hot path.
+	Timer *obs.Timer
 }
 
 // Result reports the run statistics the paper's evaluation uses.
@@ -124,6 +131,10 @@ type Engine struct {
 	// carries a detected join and Config.DisableJoin is off; nil
 	// otherwise (then detected joins run nested-loop).
 	join *joinRun
+	// inSpan marks that a trace span is open, so nested timed sections
+	// (ensure calls inside the join operator's scan) attribute to the
+	// enclosing phase instead of double-counting.
+	inSpan bool
 }
 
 // New builds an engine instance for a single run over the given event
@@ -252,8 +263,36 @@ func (e *Engine) Release() {
 // ensure pulls input through the preprojector until pred is satisfied
 // or the stream ends, then lets deferred sign-offs whose subtrees
 // completed take effect. This is the "blocked evaluator ↔ buffer
-// manager ↔ preprojector" request chain of the paper's Fig. 2.
+// manager ↔ preprojector" request chain of the paper's Fig. 2. With
+// tracing on, the whole pull counts into PhaseStream unless an
+// enclosing span (the join operator's scan) already owns the interval.
 func (e *Engine) ensure(pred func() bool) error {
+	if e.cfg.Timer == nil || e.inSpan {
+		return e.ensureLoop(pred)
+	}
+	e.inSpan = true
+	start := time.Now()
+	err := e.ensureLoop(pred)
+	e.cfg.Timer.Add(obs.PhaseStream, time.Since(start))
+	e.inSpan = false
+	return err
+}
+
+// span times fn into phase p when tracing is on; nested spans attribute
+// to the outermost phase.
+func (e *Engine) span(p obs.Phase, fn func() error) error {
+	if e.cfg.Timer == nil || e.inSpan {
+		return fn()
+	}
+	e.inSpan = true
+	start := time.Now()
+	err := fn()
+	e.cfg.Timer.Add(p, time.Since(start))
+	e.inSpan = false
+	return err
+}
+
+func (e *Engine) ensureLoop(pred func() bool) error {
 	for !pred() {
 		if err := e.poll(); err != nil {
 			return err

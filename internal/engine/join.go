@@ -6,6 +6,7 @@ import (
 	"gcx/internal/analysis"
 	"gcx/internal/buffer"
 	"gcx/internal/join"
+	"gcx/internal/obs"
 	"gcx/internal/xqast"
 )
 
@@ -165,33 +166,38 @@ func (e *Engine) finalizeJoin() error {
 		}
 	}
 	if scan {
-		tuples := buffer.SelectDocOrder(e.buf.Root, j.info.BuildPath)
-		benv := map[string]*buffer.Node{xqast.RootVar: e.buf.Root}
-		i := 0
-		next := func(*buffer.Node) *buffer.Node {
-			if i == len(tuples) {
+		// The build-side materialization is its own trace phase; the
+		// ensure calls inside pathValues find their subtrees already
+		// buffered, and the span guard keeps them out of PhaseStream.
+		err := e.span(obs.PhaseJoinBuild, func() error {
+			tuples := buffer.SelectDocOrder(e.buf.Root, j.info.BuildPath)
+			benv := map[string]*buffer.Node{xqast.RootVar: e.buf.Root}
+			i := 0
+			next := func(*buffer.Node) *buffer.Node {
+				if i == len(tuples) {
+					return nil
+				}
+				n := tuples[i]
+				i++
+				return n
+			}
+			return join.Tuples(next, e.poll, func(t *buffer.Node) error {
+				benv[j.info.BuildVar] = t
+				keys, err := e.pathValues(xqast.PathExpr{Base: j.info.BuildVar, Path: j.info.BuildKey}, benv)
+				if err != nil {
+					return err
+				}
+				cap := join.NewCapture()
+				saved := e.out
+				e.out = cap
+				err = e.eval(j.info.Then, benv)
+				e.out = saved
+				if err != nil {
+					return err
+				}
+				table.Add(keys, cap.Take())
 				return nil
-			}
-			n := tuples[i]
-			i++
-			return n
-		}
-		err := join.Tuples(next, e.poll, func(t *buffer.Node) error {
-			benv[j.info.BuildVar] = t
-			keys, err := e.pathValues(xqast.PathExpr{Base: j.info.BuildVar, Path: j.info.BuildKey}, benv)
-			if err != nil {
-				return err
-			}
-			cap := join.NewCapture()
-			saved := e.out
-			e.out = cap
-			err = e.eval(j.info.Then, benv)
-			e.out = saved
-			if err != nil {
-				return err
-			}
-			table.Add(keys, cap.Take())
-			return nil
+			})
 		})
 		if err != nil {
 			return err
@@ -201,20 +207,22 @@ func (e *Engine) finalizeJoin() error {
 
 	// Replay in probe document order; matched payloads in build document
 	// order — exactly the nested-loop emission sequence.
-	for gi := range j.groups {
-		if err := e.poll(); err != nil {
-			return err
-		}
-		g := &j.groups[gi]
-		join.Replay(g.Head, e.out)
-		if g.Splice {
-			for _, ti := range table.Match(g.Keys) {
-				join.Replay(table.Payload(ti), e.out)
-				j.matches++
+	return e.span(obs.PhaseJoinProbe, func() error {
+		for gi := range j.groups {
+			if err := e.poll(); err != nil {
+				return err
 			}
+			g := &j.groups[gi]
+			join.Replay(g.Head, e.out)
+			if g.Splice {
+				for _, ti := range table.Match(g.Keys) {
+					join.Replay(table.Payload(ti), e.out)
+					j.matches++
+				}
+			}
+			join.Replay(g.Tail, e.out)
+			g.Head, g.Tail = nil, nil
 		}
-		join.Replay(g.Tail, e.out)
-		g.Head, g.Tail = nil, nil
-	}
-	return nil
+		return nil
+	})
 }

@@ -1,0 +1,251 @@
+package gcxd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gcx"
+	"gcx/internal/obs"
+)
+
+// TestServerMetrics: after serving traffic, /metrics renders a valid
+// Prometheus exposition that carries every legacy /stats counter plus
+// the labeled latency/size histograms, and the values agree with the
+// /stats JSON view (same registry, same numbers).
+func TestServerMetrics(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
+	defer ts.Close()
+
+	doc := testDoc(0, 10)
+	if resp, body := postQuery(t, ts.URL, testQuery, doc, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+	}
+	// One error for the labeled outcome="error" series.
+	if resp, _ := postQuery(t, ts.URL, "for $x in", doc, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query accepted: status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo := string(raw)
+
+	// Every metric the /stats view exposes must appear, with HELP/TYPE.
+	for _, name := range []string{
+		"gcx_requests_total", "gcx_request_errors_total", "gcx_response_bytes_total",
+		"gcx_cache_entries", "gcx_cache_hits_total", "gcx_cache_misses_total",
+		"gcx_sharded_requests_total", "gcx_shard_workers_total", "gcx_shard_chunks_total",
+		"gcx_shard_fallbacks_total", "gcx_input_bytes_skipped_total", "gcx_subtrees_skipped_total",
+		"gcx_json_requests_total", "gcx_join_probe_tuples_total", "gcx_join_build_tuples_total",
+		"gcx_join_matches_total", "gcx_peak_buffered_nodes", "gcx_peak_buffered_bytes",
+		"gcx_budget_rejections_total", "gcx_budget_trips_total",
+		"gcx_inflight_requests", "gcx_inflight_rejections_total",
+		"gcx_request_duration_seconds", "gcx_response_size_bytes",
+	} {
+		if !strings.Contains(expo, "# HELP "+name+" ") {
+			t.Errorf("exposition lacks HELP for %s", name)
+		}
+		if !strings.Contains(expo, "# TYPE "+name+" ") {
+			t.Errorf("exposition lacks TYPE for %s", name)
+		}
+	}
+	// The request histograms carry engine/format/outcome labels and the
+	// cumulative bucket/sum/count series.
+	for _, want := range []string{
+		`gcx_request_duration_seconds_bucket{engine="gcx",format="auto",outcome="ok",le="+Inf"} 1`,
+		`gcx_request_duration_seconds_count{engine="gcx",format="auto",outcome="ok"} 1`,
+		`gcx_response_size_bytes_count{engine="gcx",format="auto",outcome="ok"} 1`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+
+	// /stats is a JSON view over the same registry: the values agree.
+	var stats map[string]int64
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for key, metric := range map[string]string{
+		"errors":       "gcx_request_errors_total",
+		"cache_misses": "gcx_cache_misses_total",
+	} {
+		// The exposition was gathered between the two query posts and the
+		// /stats read; both counters are stable by now, so exact match.
+		line := metric + " " + strconv.FormatInt(stats[key], 10) + "\n"
+		if !strings.Contains(expo, line) {
+			t.Errorf("exposition lacks %q (stats[%s]=%d):\n%s", line, key, stats[key], grepFamily(expo, metric))
+		}
+	}
+	// Every legacy key is present in the snapshot.
+	for _, key := range []string{
+		"requests", "errors", "bytes_out", "cache_len", "cache_hits", "cache_misses",
+		"sharded_requests", "shard_workers", "shard_chunks", "shard_fallbacks",
+		"bytes_skipped", "subtrees_skipped", "json_requests",
+		"join_probe_tuples", "join_build_tuples", "join_matches",
+		"peak_buffered_nodes", "peak_buffered_bytes", "budget_rejections", "budget_trips",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/stats lacks legacy key %q", key)
+		}
+	}
+}
+
+// grepFamily extracts one family's lines for a failure message.
+func grepFamily(expo, name string) string {
+	var out []string
+	for _, l := range strings.Split(expo, "\n") {
+		if strings.Contains(l, name) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestServerInflight: with MaxInflight=1, a second concurrent query is
+// shed with 503 + Retry-After while the first holds the slot, and the
+// rejection is counted; after the first finishes, the server accepts
+// again.
+func TestServerInflight(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8, MaxInflight: 1}))
+	defer ts.Close()
+
+	// Hold the single slot with a request whose body never finishes
+	// until released: the engine blocks reading input mid-execution.
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/query?query="+url.QueryEscape(testQuery), "application/xml", pr)
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- result{resp.StatusCode, nil}
+	}()
+	if _, err := io.WriteString(pw, "<bib><book><title>held</title></book>"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the held request is inside the semaphore.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats map[string]int64
+		sresp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(sresp.Body).Decode(&stats)
+		sresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats["inflight_requests"] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("held request never became in-flight: %v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The slot is taken: the next query is shed immediately.
+	resp, body := postQuery(t, ts.URL, testQuery, testDoc(0, 1), "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("concurrent query: status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 response lacks Retry-After")
+	}
+
+	// Release the held request; it completes and frees the slot.
+	if _, err := io.WriteString(pw, "</bib>"); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if r := <-done; r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("held request: status %d err %v", r.status, r.err)
+	}
+	resp, body = postQuery(t, ts.URL, testQuery, testDoc(0, 1), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release query: status %d: %s", resp.StatusCode, body)
+	}
+
+	var stats map[string]int64
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["inflight_rejections"] != 1 {
+		t.Errorf("inflight_rejections = %d, want 1", stats["inflight_rejections"])
+	}
+	if stats["inflight_requests"] != 0 {
+		t.Errorf("inflight_requests = %d, want 0 after drain", stats["inflight_requests"])
+	}
+}
+
+// TestServerTraceTrailer: trace=1 returns the per-phase breakdown as
+// JSON in the X-Gcx-Trace trailer; without it the trailer is empty.
+func TestServerTraceTrailer(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
+	defer ts.Close()
+
+	doc := testDoc(0, 50)
+	resp, body := postQuery(t, ts.URL, testQuery, doc, "trace=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced query: status %d: %s", resp.StatusCode, body)
+	}
+	raw := resp.Trailer.Get("X-Gcx-Trace")
+	if raw == "" {
+		t.Fatalf("missing X-Gcx-Trace trailer: %+v", resp.Trailer)
+	}
+	var phases []gcx.TracePhase
+	if err := json.Unmarshal([]byte(raw), &phases); err != nil {
+		t.Fatalf("trailer is not a JSON phase list: %v: %s", err, raw)
+	}
+	if len(phases) == 0 || phases[0].Phase != "compile" {
+		t.Errorf("trace = %+v, want compile first", phases)
+	}
+	seen := map[string]bool{}
+	for _, p := range phases {
+		seen[p.Phase] = true
+	}
+	if !seen["stream"] {
+		t.Errorf("no stream phase in %+v", phases)
+	}
+
+	resp, _ = postQuery(t, ts.URL, testQuery, doc, "")
+	if got := resp.Trailer.Get("X-Gcx-Trace"); got != "" {
+		t.Errorf("untraced request has trace trailer %q", got)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package gcxd
 
 import (
 	"encoding/json"
@@ -64,7 +64,7 @@ func postQuery(t *testing.T, baseURL, query, doc, params string) (*http.Response
 // concurrent streams sharing one cached query, checking each response
 // against the sequential engine output.
 func TestServerConcurrentRequests(t *testing.T) {
-	ts := httptest.NewServer(newServer(8))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
 	defer ts.Close()
 
 	const goroutines = 16
@@ -126,7 +126,7 @@ func TestServerConcurrentRequests(t *testing.T) {
 }
 
 func TestServerEngines(t *testing.T) {
-	ts := httptest.NewServer(newServer(8))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
 	defer ts.Close()
 
 	doc := testDoc(0, 10)
@@ -143,7 +143,7 @@ func TestServerEngines(t *testing.T) {
 }
 
 func TestServerErrors(t *testing.T) {
-	ts := httptest.NewServer(newServer(8))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
 	defer ts.Close()
 
 	// Missing query.
@@ -192,7 +192,7 @@ func TestServerErrors(t *testing.T) {
 // identical output, the X-Gcx-Shards trailer, per-worker counters in
 // /stats, and the fallback accounting for non-partitionable queries.
 func TestServerShardedRequests(t *testing.T) {
-	ts := httptest.NewServer(newServer(8))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
 	defer ts.Close()
 
 	doc := testDoc(1, 200)
@@ -267,7 +267,7 @@ func TestServerShardedRequests(t *testing.T) {
 // requests byte-identical to sequential ones, the json_requests
 // counter, and rejection of unknown format names.
 func TestServerNDJSONRequests(t *testing.T) {
-	ts := httptest.NewServer(newServer(8))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
 	defer ts.Close()
 
 	nd, _, err := xmark.GenerateNDJSONString(xmark.Config{TargetBytes: 64 << 10, Seed: 5})
@@ -330,7 +330,7 @@ func TestServerNDJSONRequests(t *testing.T) {
 }
 
 func TestServerHealthz(t *testing.T) {
-	ts := httptest.NewServer(newServer(1))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 1}))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -346,7 +346,7 @@ func TestServerHealthz(t *testing.T) {
 // control for statically-unbounded queries, graceful runtime trips, and
 // the budget counters plus peak watermarks in /stats.
 func TestServerBudget(t *testing.T) {
-	ts := httptest.NewServer(newServer(8))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
 	defer ts.Close()
 
 	doc := testDoc(0, 40)
@@ -424,7 +424,7 @@ func TestServerBudget(t *testing.T) {
 // budget on its build side — and a breach surfaces as a budget trip
 // with partial join statistics, not as a generic execution error.
 func TestServerJoinBudget(t *testing.T) {
-	ts := httptest.NewServer(newServer(8))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
 	defer ts.Close()
 
 	const joinQuery = `<out>{ for $b in /bib/book return
@@ -490,7 +490,7 @@ func TestServerJoinBudget(t *testing.T) {
 // TestServerExplain drives the /explain endpoint: a structured report
 // for good queries, 400 for bad ones, no execution either way.
 func TestServerExplain(t *testing.T) {
-	ts := httptest.NewServer(newServer(8))
+	ts := httptest.NewServer(NewServer(Config{CacheSize: 8}))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/explain?query=" + url.QueryEscape(xmark.Queries["Q1"].Text))

@@ -9,6 +9,9 @@
 //   - ctxpoll: token-pull loops in the engine and shard packages must
 //     poll for cancellation, so a disconnecting client aborts a run
 //     within one input token (the latency contract of gcxd's drain).
+//   - obsnames: metric names registered on the obs registry are
+//     gcx_-prefixed snake_case, and the gcxd server packages log through
+//     log/slog only (DESIGN.md §11).
 //
 // The framework is deliberately stdlib-only (go/parser + go/ast): the
 // build environment has no module proxy, so golang.org/x/tools is out
@@ -60,7 +63,7 @@ type Analyzer struct {
 }
 
 // All is the registry of passes, in reporting order.
-var All = []*Analyzer{EventBoundary, CtxPoll}
+var All = []*Analyzer{EventBoundary, CtxPoll, ObsNames}
 
 // Lookup resolves a pass by name.
 func Lookup(name string) *Analyzer {

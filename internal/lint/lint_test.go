@@ -43,6 +43,70 @@ func TestCtxPollFixture(t *testing.T) {
 	}
 }
 
+// TestObsNamesFixture: the seeded violations fire — two malformed
+// metric names in the server fixture and one bare "log" import in the
+// gcxd command fixture — while the conforming names, the computed name,
+// the test file and the slog-using package stay silent.
+func TestObsNamesFixture(t *testing.T) {
+	findings, err := Run("testdata/obsnames", []*Analyzer{ObsNames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %d, want the three seeded violations:\n%v", len(findings), findings)
+	}
+	var names, logs int
+	for _, f := range findings {
+		switch {
+		case strings.Contains(f.Message, "snake_case"):
+			names++
+			if !strings.Contains(f.Pos.Filename, "server/bad.go") {
+				t.Errorf("name finding outside server/bad.go: %v", f)
+			}
+		case strings.Contains(f.Message, "log/slog"):
+			logs++
+			if !strings.Contains(f.Pos.Filename, "cmd/gcxd/bad.go") {
+				t.Errorf("log finding outside cmd/gcxd/bad.go: %v", f)
+			}
+		default:
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+	if names != 2 || logs != 1 {
+		t.Errorf("names = %d, logs = %d, want 2 and 1", names, logs)
+	}
+}
+
+// TestObsNamesNotVacuous: the pass recognizes the real server's metric
+// registrations — otherwise a clean repo run proves nothing.
+func TestObsNamesNotVacuous(t *testing.T) {
+	files, err := Load("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, f := range files {
+		if f.Test || !importsPath(f, "gcx/internal/obs") {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && obsCtors[sel.Sel.Name] {
+				if _, ok := call.Args[0].(*ast.BasicLit); ok {
+					checked++
+				}
+			}
+			return true
+		})
+	}
+	if checked < 20 {
+		t.Fatalf("obsnames checked %d literal metric names, want >= 20 (the gcxd registry); the pass has gone vacuous", checked)
+	}
+}
+
 // TestRepoClean: the real repository satisfies every pass — the
 // invariant `make check` and CI enforce.
 func TestRepoClean(t *testing.T) {
@@ -107,7 +171,7 @@ func TestLoadPkgPaths(t *testing.T) {
 }
 
 func TestLookup(t *testing.T) {
-	if Lookup("eventboundary") != EventBoundary || Lookup("ctxpoll") != CtxPoll {
+	if Lookup("eventboundary") != EventBoundary || Lookup("ctxpoll") != CtxPoll || Lookup("obsnames") != ObsNames {
 		t.Error("Lookup does not resolve registered passes")
 	}
 	if Lookup("nope") != nil {

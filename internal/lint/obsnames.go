@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+)
+
+// obsMetricName is the naming grammar for gcx metrics: gcx_-prefixed
+// snake_case, the convention the README's scrape examples and dashboard
+// queries rely on. The obs registry itself only enforces Prometheus
+// validity; this pass enforces the repo convention at the call sites.
+var obsMetricName = regexp.MustCompile(`^gcx(_[a-z0-9]+)+$`)
+
+// obsCtors are the obs.Registry constructor methods whose first
+// argument is the metric name.
+var obsCtors = map[string]bool{
+	"Counter":      true,
+	"CounterFunc":  true,
+	"CounterVec":   true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+	"HistogramVec": true,
+}
+
+// slogOnlyPkgs are the server packages where every log line must go
+// through log/slog: request logs are machine-consumed (one structured
+// line per query), so a stray log.Printf would silently fall out of the
+// pipeline.
+var slogOnlyPkgs = map[string]bool{
+	"gcx/cmd/gcxd":      true,
+	"gcx/internal/gcxd": true,
+}
+
+// ObsNames enforces the observability conventions of DESIGN.md §11:
+// metric names registered on the obs registry are gcx_-prefixed
+// snake_case, and the gcxd server packages log through slog only (no
+// bare "log" import). Test files are exempt — registry tests exercise
+// arbitrary names on purpose.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "enforce gcx_ snake_case metric names and slog-only logging in gcxd",
+	Run: func(files []*File) []Finding {
+		var out []Finding
+		for _, f := range files {
+			if f.Test {
+				continue
+			}
+			if slogOnlyPkgs[f.PkgPath] {
+				for _, imp := range f.AST.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil || path != "log" {
+						continue
+					}
+					out = append(out, Finding{
+						Pos:      f.Fset.Position(imp.Pos()),
+						Analyzer: "obsnames",
+						Message: fmt.Sprintf(
+							"package %s imports \"log\"; gcxd logs through log/slog only (one structured line per request — a bare log.Printf falls out of the pipeline)",
+							f.PkgPath),
+					})
+				}
+			}
+			if !importsPath(f, "gcx/internal/obs") {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !obsCtors[sel.Sel.Name] {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok {
+					return true // computed names are out of scope
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil || obsMetricName.MatchString(name) {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:      f.Fset.Position(lit.Pos()),
+					Analyzer: "obsnames",
+					Message: fmt.Sprintf(
+						"metric name %q is not gcx_-prefixed snake_case (want %s)",
+						name, obsMetricName),
+				})
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// importsPath reports whether the file imports the given package path.
+func importsPath(f *File, pkg string) bool {
+	for _, imp := range f.AST.Imports {
+		if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == pkg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,9 @@
+// Package main seeds the slog-only violation: the gcxd command
+// importing the unstructured log package.
+package main
+
+import "log"
+
+func lifecycle() {
+	log.Printf("gcxd listening")
+}

@@ -1,0 +1,9 @@
+// Package gcxd stands in for the real server package: slog is the
+// sanctioned logging path, so no finding.
+package gcxd
+
+import "log/slog"
+
+func lifecycle(l *slog.Logger) {
+	l.Info("gcxd listening")
+}

@@ -1,0 +1,14 @@
+// Package server seeds two obsnames metric-name violations: a name
+// without the gcx_ prefix and a name with uppercase characters. The
+// fixture is parse-only — it never builds.
+package server
+
+import "gcx/internal/obs"
+
+func register(r *obs.Registry) {
+	r.Counter("requests_total", "missing the gcx_ prefix")
+	r.Gauge("gcx_PeakNodes", "camel case is not snake_case")
+	r.Counter("gcx_ok_total", "conforming name, no finding")
+	name := "computed_" + "name"
+	r.Counter(name, "non-literal names are out of scope")
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the media type of the Prometheus text exposition
+// format WritePrometheus emits.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format, families in registration order and labeled
+// series in sorted label order (deterministic output — the golden test
+// relies on it). The whole rendering runs under the registry's
+// exclusive lock, so it is a consistent point-in-time view, like
+// Snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	for _, f := range r.families {
+		f.write(bw)
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ)
+	w.WriteByte('\n')
+
+	if f.fn != nil {
+		writeSample(w, f.name, "", f.labels, nil, "", float64(f.fn()))
+		return
+	}
+	children := f.order
+	if len(f.labels) > 0 {
+		children = append([]*child(nil), f.order...)
+		sort.Slice(children, func(i, j int) bool {
+			return labelKey(children[i].labelValues) < labelKey(children[j].labelValues)
+		})
+	}
+	for _, c := range children {
+		switch {
+		case c.counter != nil:
+			writeSample(w, f.name, "", f.labels, c.labelValues, "", float64(c.counter.v.Load()))
+		case c.gauge != nil:
+			writeSample(w, f.name, "", f.labels, c.labelValues, "", float64(c.gauge.v.Load()))
+		case c.hist != nil:
+			h := c.hist
+			cum := int64(0)
+			for i, bound := range h.buckets {
+				cum += h.counts[i].Load()
+				writeSample(w, f.name, "_bucket", f.labels, c.labelValues, formatFloat(bound), float64(cum))
+			}
+			cum += h.counts[len(h.buckets)].Load()
+			writeSample(w, f.name, "_bucket", f.labels, c.labelValues, "+Inf", float64(cum))
+			writeSample(w, f.name, "_sum", f.labels, c.labelValues, "", h.Sum())
+			writeSample(w, f.name, "_count", f.labels, c.labelValues, "", float64(cum))
+		}
+	}
+}
+
+// writeSample emits one series line:
+// name_suffix{label="value",...,le="bound"} value
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, le string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(values) > 0 || le != "" {
+		w.WriteByte('{')
+		first := true
+		for i, lv := range values {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(labels[i])
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(lv))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders sample values and bucket bounds: integers without
+// a fraction (counter values read naturally), everything else in Go's
+// shortest form, which the Prometheus parser accepts.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range []byte(s) {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line: backslash and newline (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range []byte(s) {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

@@ -20,6 +20,7 @@ import (
 	"gcx/internal/analysis"
 	"gcx/internal/core"
 	"gcx/internal/jsontok"
+	"gcx/internal/obs"
 	"gcx/internal/xmltok"
 	"gcx/internal/xpath"
 )
@@ -131,6 +132,14 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 	}
 	cfg.Exec.RecordEvery = 0
 
+	// st collects the shard-level trace phases (DESIGN.md §11): the
+	// synchronous chunk scan of a join-sharded run (PhaseSplit; the
+	// streaming splitter overlaps the workers and is not separable) and
+	// the ordered merge's writes (PhaseMerge). Worker phases are summed
+	// across workers in the merge loop, so a sharded trace's phase total
+	// can exceed the run's wall time.
+	var st obs.Timer
+
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -176,6 +185,7 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 				auxSteps[i] = xmltok.SplitStep{Name: st.Test.Name, Wildcard: st.Test.Kind == xpath.TestWildcard}
 			}
 			sp.CaptureAux(auxSteps, info.Divergence)
+			splitStart := time.Now()
 			var chunks [][]byte
 			for {
 				select {
@@ -193,6 +203,9 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 				chunks = append(chunks, data)
 			}
 			extra = joinFragment(info, sp.AuxData())
+			if cfg.Exec.Trace {
+				st.Add(obs.PhaseSplit, time.Since(splitStart))
+			}
 			i := 0
 			nextChunk = func() ([]byte, error) {
 				if i == len(chunks) {
@@ -266,6 +279,10 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 	var firstErr error
 	wrotePrefix := false
 	writeOut := func(p []byte) error {
+		if cfg.Exec.Trace {
+			ws := time.Now()
+			defer func() { st.Add(obs.PhaseMerge, time.Since(ws)) }()
+		}
 		if !wrotePrefix {
 			if _, err := output.Write(info.Prefix); err != nil {
 				return err
@@ -299,6 +316,9 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 				agg.JoinProbeTuples += r.res.JoinProbeTuples
 				agg.JoinBuildTuples += r.res.JoinBuildTuples
 				agg.JoinMatches += r.res.JoinMatches
+				if cfg.Exec.Trace {
+					agg.Phases = obs.SumPhases(agg.Phases, r.res.Phases)
+				}
 				agg.Chunks++
 			}
 		}
@@ -319,6 +339,9 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 		return nil, err
 	}
 	agg.OutputBytes += int64(len(info.Prefix) + len(info.Suffix))
+	if cfg.Exec.Trace {
+		agg.Phases = obs.SumPhases(agg.Phases, st.Phases())
+	}
 	agg.Duration = time.Since(start)
 	return agg, nil
 }
