@@ -42,7 +42,7 @@ lint:
 # (gcxbench runs J1,J2,J3 by default). Keep the matrix small enough for
 # CI; widen locally with e.g. `go run ./cmd/gcxbench -sizes 1,5 -reps 5`.
 bench:
-	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q8,Q9,Q13 -engines gcx -reps 3 -json BENCH_gcx.json
+	$(GO) run ./cmd/gcxbench -sizes 1 -queries Q1,Q6,Q8,Q9,Q13 -engines gcx -reps 15 -json BENCH_gcx.json
 
 # bench-json measures only the NDJSON cells (DESIGN.md §8) — a quick
 # look at the JSON front end's throughput without the XML matrix. The
@@ -76,3 +76,6 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/xqparse
 	$(GO) test -run xxx -fuzz FuzzStreamBound -fuzztime 10s .
 	$(GO) test -run xxx -fuzz FuzzJoinKeys -fuzztime 10s .
+	$(GO) test -run xxx -fuzz FuzzCursor -fuzztime 10s ./internal/cursor
+	$(GO) test -run xxx -fuzz FuzzBytesReaderParity -fuzztime 10s ./internal/xmltok
+	$(GO) test -run xxx -fuzz FuzzJSONBytesReaderParity -fuzztime 10s ./internal/jsontok

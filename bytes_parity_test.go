@@ -1,0 +1,108 @@
+package gcx_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gcx"
+	"gcx/internal/xmark"
+)
+
+// TestBytesReaderParityCatalog is the correctness pin of the zero-copy
+// byte path (DESIGN.md §12): for every catalog query, ExecuteBytes over
+// the document's bytes and Execute over an io.Reader of the same bytes
+// must produce byte-identical output and identical engine statistics.
+// The two paths share the engine but diverge at the cursor backing —
+// fixed whole-document windows with borrowed text versus 64 KiB refill
+// windows with copied text — so any fast-path shortcut that changes
+// token content, skip decisions, or buffering shows up here.
+func TestBytesReaderParityCatalog(t *testing.T) {
+	doc, _, err := xmark.GenerateString(xmark.Config{TargetBytes: 256 << 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range xmark.QueryIDs() {
+		entry := xmark.Queries[qid]
+		q, err := gcx.Compile(entry.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		opts := gcx.Options{EnableAggregation: entry.UsesAggregation}
+		assertPathParity(t, qid, q, []byte(doc), opts)
+	}
+}
+
+// TestBytesReaderParityNDJSON pins the same property for the JSON front
+// end: the NDJSON catalog queries must not care whether records arrive
+// as one contiguous buffer or through a reader.
+func TestBytesReaderParityNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := xmark.GenerateNDJSON(&buf, xmark.Config{TargetBytes: 128 << 10, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	log := buf.Bytes()
+	for _, qid := range []string{"J1", "J2", "J3"} {
+		q, err := gcx.Compile(xmark.NDJSONQueries[qid].Text)
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		assertPathParity(t, qid, q, log, gcx.Options{Format: gcx.FormatNDJSON})
+	}
+}
+
+// TestBytesReaderParitySharded extends the pin to sharded execution:
+// workers on the byte path receive zero-copy subslices instead of
+// pipe-fed readers, and the merged output must not notice.
+func TestBytesReaderParitySharded(t *testing.T) {
+	doc, _, err := xmark.GenerateString(xmark.Config{TargetBytes: 256 << 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := gcx.Compile(xmark.Queries["Q1"].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Shardable() {
+		t.Fatal("Q1 must be shardable")
+	}
+	assertPathParity(t, "Q1/shards=4", q, []byte(doc), gcx.Options{Shards: 4})
+}
+
+// assertPathParity runs q over data on both input paths and fails the
+// test on any divergence in output bytes or engine counters.
+func assertPathParity(t *testing.T, label string, q *gcx.Query, data []byte, opts gcx.Options) {
+	t.Helper()
+	var fromReader bytes.Buffer
+	readerRes, err := q.Execute(strings.NewReader(string(data)), &fromReader, opts)
+	if err != nil {
+		t.Fatalf("%s reader: %v", label, err)
+	}
+	var fromBytes bytes.Buffer
+	bytesRes, err := q.ExecuteBytes(data, &fromBytes, opts)
+	if err != nil {
+		t.Fatalf("%s bytes: %v", label, err)
+	}
+	if !bytes.Equal(fromBytes.Bytes(), fromReader.Bytes()) {
+		t.Fatalf("%s: output diverges between input paths\nbytes:  %.200q\nreader: %.200q",
+			label, fromBytes.String(), fromReader.String())
+	}
+	type counters struct {
+		Tokens, PeakNodes, PeakBytes, Appended, Purged int64
+		Output, BytesSkipped, TagsSkipped, Subtrees    int64
+		Probe, Build, Matches                          int64
+	}
+	pick := func(r *gcx.Result) counters {
+		return counters{
+			Tokens: r.TokensProcessed, PeakNodes: r.PeakBufferedNodes,
+			PeakBytes: r.PeakBufferedBytes, Appended: r.TotalAppended,
+			Purged: r.TotalPurged, Output: r.OutputBytes,
+			BytesSkipped: r.BytesSkipped, TagsSkipped: r.TagsSkipped,
+			Subtrees: r.SubtreesSkipped, Probe: r.JoinProbeTuples,
+			Build: r.JoinBuildTuples, Matches: r.JoinMatches,
+		}
+	}
+	if b, r := pick(bytesRes), pick(readerRes); b != r {
+		t.Fatalf("%s: statistics diverge between input paths\nbytes:  %+v\nreader: %+v", label, b, r)
+	}
+}

@@ -61,6 +61,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		showTrace   = fs.Bool("trace", false, "print the per-phase execution trace to stderr")
 		plotEvery   = fs.Int64("plot", 0, "emit a buffer plot sample to stderr every N tokens")
 		shards      = fs.Int("shards", 1, "parallel engine instances for partitionable queries (0/1 = sequential)")
+		useMmap     = fs.Bool("mmap", false, "memory-map the -i file and run the zero-copy byte path (falls back to reading the file where mmap is unavailable)")
 		noJoin      = fs.Bool("no-join", false, "disable the streaming hash join operator (nested-loop baseline for detected joins)")
 		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
@@ -102,8 +103,12 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return 0
 	}
 
+	if *useMmap && *inputFile == "" {
+		fmt.Fprintln(stderr, "gcx: -mmap requires an input file (-i)")
+		return 2
+	}
 	input := stdin
-	if *inputFile != "" {
+	if *inputFile != "" && !*useMmap {
 		f, err := os.Open(*inputFile)
 		if err != nil {
 			return fail(stderr, err)
@@ -156,9 +161,22 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		defer cancel()
 	}
 
-	res, err := q.ExecuteContext(ctx, input, output, opts)
-	if err != nil {
-		return fail(stderr, err)
+	var res *gcx.Result
+	if *useMmap {
+		data, unmap, err := mapFile(*inputFile)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		res, err = q.ExecuteBytesContext(ctx, data, output, opts)
+		unmap()
+		if err != nil {
+			return fail(stderr, err)
+		}
+	} else {
+		res, err = q.ExecuteContext(ctx, input, output, opts)
+		if err != nil {
+			return fail(stderr, err)
+		}
 	}
 	if toStdout {
 		fmt.Fprintln(stdout)

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// mapFile reads the whole file on platforms without mmap; the zero-copy
+// byte path still applies to the in-memory copy.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,42 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only and returns its bytes with an
+// unmap function. The mapping satisfies ExecuteBytesContext's aliasing
+// contract by construction: nothing in this process writes to it.
+// Empty files yield an empty slice with a no-op unmap (mmap rejects
+// zero-length mappings).
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if int64(int(size)) != size {
+		// A file too large for the address space; read path still works.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return data, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

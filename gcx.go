@@ -33,6 +33,7 @@ import (
 	"io"
 	"strings"
 	"time"
+	"unsafe"
 
 	"gcx/internal/analysis"
 	"gcx/internal/buffer"
@@ -434,6 +435,69 @@ func (q *Query) Execute(input io.Reader, output io.Writer, opts Options) (*Resul
 // token of ctx being cancelled and returns ctx.Err() without writing
 // further output.
 func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.Writer, opts Options) (*Result, error) {
+	execOpts, err := q.execOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if shards := q.shardCount(opts); shards > 1 {
+		sres, err := shard.Execute(ctx, q.shardInfo, input, output, shard.Config{
+			Workers: shards,
+			Exec:    execOpts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return q.shardResult(sres, shards, opts), nil
+	}
+	res, err := core.ExecuteContext(ctx, q.plan, input, output, execOpts)
+	if err != nil && res == nil {
+		return nil, err
+	}
+	// A node-budget breach (err wrapping ErrBufferBudget) still carries
+	// the partial statistics; both are returned.
+	return q.result(res, opts), err
+}
+
+// ExecuteBytes evaluates the query over an in-memory document. See
+// ExecuteBytesContext.
+func (q *Query) ExecuteBytes(data []byte, output io.Writer, opts Options) (*Result, error) {
+	return q.ExecuteBytesContext(context.Background(), data, output, opts)
+}
+
+// ExecuteBytesContext evaluates the query over an in-memory document
+// under a cancellation context, writing the serialized result to
+// output. This is the zero-copy fast path (DESIGN.md §12): the
+// tokenizer scans data in place with whole-window vectorized scans and
+// text tokens borrow subslices of data instead of allocating copies.
+// The aliasing contract is the caller's side of that bargain: data must
+// not be mutated until the call returns. Sharded runs split data with
+// the same zero-copy scan and hand workers subslices where the format
+// allows.
+func (q *Query) ExecuteBytesContext(ctx context.Context, data []byte, output io.Writer, opts Options) (*Result, error) {
+	execOpts, err := q.execOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if shards := q.shardCount(opts); shards > 1 {
+		sres, err := shard.ExecuteBytes(ctx, q.shardInfo, data, output, shard.Config{
+			Workers: shards,
+			Exec:    execOpts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return q.shardResult(sres, shards, opts), nil
+	}
+	res, err := core.ExecuteBytesContext(ctx, q.plan, data, output, execOpts)
+	if err != nil && res == nil {
+		return nil, err
+	}
+	return q.result(res, opts), err
+}
+
+// execOptions maps the public Options onto the internal engine options,
+// rejecting unknown enum values.
+func (q *Query) execOptions(opts Options) (core.ExecOptions, error) {
 	execOpts := core.ExecOptions{
 		EnableAggregation: opts.EnableAggregation,
 		DisableSkip:       opts.DisableSubtreeSkip,
@@ -451,7 +515,7 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 	case EngineDOM:
 		execOpts.Engine = core.DOM
 	default:
-		return nil, fmt.Errorf("gcx: unknown engine %d (want EngineGCX, EngineProjectionOnly or EngineDOM)", opts.Engine)
+		return execOpts, fmt.Errorf("gcx: unknown engine %d (want EngineGCX, EngineProjectionOnly or EngineDOM)", opts.Engine)
 	}
 	switch opts.SignOffMode {
 	case SignOffDeferred:
@@ -459,49 +523,29 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 	case SignOffEager:
 		execOpts.SignOffMode = engine.Eager
 	default:
-		return nil, fmt.Errorf("gcx: unknown sign-off mode %d (want SignOffDeferred or SignOffEager)", opts.SignOffMode)
+		return execOpts, fmt.Errorf("gcx: unknown sign-off mode %d (want SignOffDeferred or SignOffEager)", opts.SignOffMode)
 	}
 	if opts.Shards < 0 {
-		return nil, fmt.Errorf("gcx: negative shard count %d", opts.Shards)
+		return execOpts, fmt.Errorf("gcx: negative shard count %d", opts.Shards)
 	}
+	return execOpts, nil
+}
+
+// shardCount resolves how many workers a run should use: 0 for the
+// sequential path (non-shardable query, ineligible format, recording
+// runs or Shards ≤ 1), the clamped worker count otherwise.
+func (q *Query) shardCount(opts Options) int {
 	if opts.Shards > 1 && q.shardInfo != nil && opts.RecordEvery == 0 && formatShardable(opts.Format, q.shardInfo) {
-		shards := opts.Shards
-		if shards > MaxShards {
-			shards = MaxShards
+		if opts.Shards > MaxShards {
+			return MaxShards
 		}
-		sres, err := shard.Execute(ctx, q.shardInfo, input, output, shard.Config{
-			Workers: shards,
-			Exec:    execOpts,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			TokensProcessed:    sres.TokensProcessed,
-			PeakBufferedNodes:  sres.PeakBufferedNodes,
-			PeakBufferedBytes:  sres.PeakBufferedBytes,
-			FinalBufferedNodes: sres.FinalBufferedNodes,
-			TotalAppended:      sres.TotalAppended,
-			TotalPurged:        sres.TotalPurged,
-			OutputBytes:        sres.OutputBytes,
-			BytesSkipped:       sres.BytesSkipped,
-			TagsSkipped:        sres.TagsSkipped,
-			SubtreesSkipped:    sres.SubtreesSkipped,
-			JoinProbeTuples:    sres.JoinProbeTuples,
-			JoinBuildTuples:    sres.JoinBuildTuples,
-			JoinMatches:        sres.JoinMatches,
-			Duration:           sres.Duration,
-			ShardsUsed:         shards,
-			Chunks:             sres.Chunks,
-			Trace:              q.trace(opts, sres.Phases),
-		}, nil
+		return opts.Shards
 	}
-	res, err := core.ExecuteContext(ctx, q.plan, input, output, execOpts)
-	if err != nil && res == nil {
-		return nil, err
-	}
-	// A node-budget breach (err wrapping ErrBufferBudget) still carries
-	// the partial statistics; both are returned.
+	return 0
+}
+
+// result converts a sequential run's internal result to the public one.
+func (q *Query) result(res *core.ExecResult, opts Options) *Result {
 	out := &Result{
 		TokensProcessed:    res.TokensProcessed,
 		PeakBufferedNodes:  res.PeakBufferedNodes,
@@ -523,7 +567,31 @@ func (q *Query) ExecuteContext(ctx context.Context, input io.Reader, output io.W
 	for _, p := range res.Series {
 		out.Series = append(out.Series, SeriesPoint{Token: p.Token, Nodes: p.Nodes, Bytes: p.Bytes})
 	}
-	return out, err
+	return out
+}
+
+// shardResult converts a sharded run's internal result to the public
+// one.
+func (q *Query) shardResult(sres *shard.Result, shards int, opts Options) *Result {
+	return &Result{
+		TokensProcessed:    sres.TokensProcessed,
+		PeakBufferedNodes:  sres.PeakBufferedNodes,
+		PeakBufferedBytes:  sres.PeakBufferedBytes,
+		FinalBufferedNodes: sres.FinalBufferedNodes,
+		TotalAppended:      sres.TotalAppended,
+		TotalPurged:        sres.TotalPurged,
+		OutputBytes:        sres.OutputBytes,
+		BytesSkipped:       sres.BytesSkipped,
+		TagsSkipped:        sres.TagsSkipped,
+		SubtreesSkipped:    sres.SubtreesSkipped,
+		JoinProbeTuples:    sres.JoinProbeTuples,
+		JoinBuildTuples:    sres.JoinBuildTuples,
+		JoinMatches:        sres.JoinMatches,
+		Duration:           sres.Duration,
+		ShardsUsed:         shards,
+		Chunks:             sres.Chunks,
+		Trace:              q.trace(opts, sres.Phases),
+	}
 }
 
 // trace converts a run's internal phase times into the public Result
@@ -565,10 +633,14 @@ func (q *Query) ExecuteString(input string, opts Options) (string, *Result, erro
 }
 
 // ExecuteStringContext is ExecuteString under a cancellation context,
-// with the same within-one-token abort guarantee as ExecuteContext.
+// with the same within-one-token abort guarantee as ExecuteContext. It
+// runs on the zero-copy byte path: strings are immutable, so viewing
+// the input's bytes in place satisfies ExecuteBytesContext's aliasing
+// contract for free.
 func (q *Query) ExecuteStringContext(ctx context.Context, input string, opts Options) (string, *Result, error) {
 	var out strings.Builder
-	res, err := q.ExecuteContext(ctx, strings.NewReader(input), &out, opts)
+	data := unsafe.Slice(unsafe.StringData(input), len(input))
+	res, err := q.ExecuteBytesContext(ctx, data, &out, opts)
 	if err != nil {
 		return "", nil, err
 	}

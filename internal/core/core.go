@@ -13,6 +13,7 @@ import (
 	"gcx/internal/analysis"
 	"gcx/internal/baseline"
 	"gcx/internal/engine"
+	"gcx/internal/event"
 	"gcx/internal/obs"
 	"gcx/internal/stats"
 	"gcx/internal/xqparse"
@@ -162,6 +163,47 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 	if timer != nil {
 		timer.Add(obs.PhaseSetup, time.Since(start))
 	}
+	return run(ctx, plan, src, sink, opts, start, timer)
+}
+
+// ExecuteBytes runs a compiled plan over an in-memory document, writing
+// the result to output. See ExecuteBytesContext.
+func ExecuteBytes(plan *analysis.Plan, data []byte, output io.Writer, opts ExecOptions) (*ExecResult, error) {
+	return ExecuteBytesContext(context.Background(), plan, data, output, opts)
+}
+
+// ExecuteBytesContext runs a compiled plan over an in-memory document
+// under a cancellation context. This is the zero-copy fast path
+// (DESIGN.md §12): the tokenizer scans data in place through the block
+// cursor — no staging buffer, no per-window copying — and text tokens
+// borrow subslices of data instead of allocating. The caller must not
+// mutate data until the call returns and all result processing is done.
+func ExecuteBytesContext(ctx context.Context, plan *analysis.Plan, data []byte, output io.Writer, opts ExecOptions) (*ExecResult, error) {
+	start := time.Now()
+	var timer *obs.Timer
+	if opts.Trace {
+		timer = new(obs.Timer)
+	}
+	format := ResolveFormatBytes(opts.Format, data)
+	src, err := NewSourceBytes(format, data)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := NewSink(format, output)
+	if err != nil {
+		src.Release()
+		return nil, err
+	}
+	if timer != nil {
+		timer.Add(obs.PhaseSetup, time.Since(start))
+	}
+	return run(ctx, plan, src, sink, opts, start, timer)
+}
+
+// run is the engine dispatch shared by the reader and []byte entry
+// points: both resolve their format and build source/sink, then the
+// execution below is identical.
+func run(ctx context.Context, plan *analysis.Plan, src event.Source, sink event.Sink, opts ExecOptions, start time.Time, timer *obs.Timer) (*ExecResult, error) {
 	// finish completes the trace: eval is the wall-time remainder after
 	// every stamped phase, so the phases sum to Duration exactly.
 	finish := func(res *engine.Result) *ExecResult {
@@ -176,6 +218,7 @@ func ExecuteContext(ctx context.Context, plan *analysis.Plan, input io.Reader, o
 	}
 	var res *engine.Result
 	var rec *stats.Recorder
+	var err error
 	switch opts.Engine {
 	case GCX, ProjectionOnly:
 		cfg := engine.Config{

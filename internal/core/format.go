@@ -113,6 +113,29 @@ func ResolveFormat(f Format, r io.Reader) (Format, io.Reader, error) {
 	}
 }
 
+// ResolveFormatBytes materializes FormatAuto for in-memory input by
+// sniffing the first non-whitespace byte ('<' → XML, otherwise JSON).
+// Explicit formats pass through untouched. Unlike ResolveFormat there
+// is no reader to re-wrap, so nothing can fail.
+func ResolveFormatBytes(f Format, data []byte) Format {
+	if f != FormatAuto {
+		return f
+	}
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '<':
+			return FormatXML
+		default:
+			return FormatJSON
+		}
+	}
+	// Empty or whitespace-only input: either front end reports its own
+	// (syntax) error; default to XML, the historical one.
+	return FormatXML
+}
+
 // NewSource returns the event source for a resolved format. FormatAuto
 // must be resolved (ResolveFormat) before this call.
 func NewSource(f Format, r io.Reader) (event.Source, error) {
@@ -121,6 +144,21 @@ func NewSource(f Format, r io.Reader) (event.Source, error) {
 		return xmltok.NewTokenizer(r), nil
 	case FormatJSON, FormatNDJSON:
 		return jsontok.NewTokenizer(r), nil
+	default:
+		return nil, fmt.Errorf("core: format %v has no event source (resolve auto first)", f)
+	}
+}
+
+// NewSourceBytes returns the zero-copy event source for a resolved
+// format: windows and text tokens alias data, which the caller must not
+// mutate until the run is over. FormatAuto must be resolved
+// (ResolveFormatBytes) before this call.
+func NewSourceBytes(f Format, data []byte) (event.Source, error) {
+	switch f {
+	case FormatXML:
+		return xmltok.NewTokenizerBytes(data), nil
+	case FormatJSON, FormatNDJSON:
+		return jsontok.NewTokenizerBytes(data), nil
 	default:
 		return nil, fmt.Errorf("core: format %v has no event source (resolve auto first)", f)
 	}

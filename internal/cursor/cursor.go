@@ -1,0 +1,263 @@
+// Package cursor implements the block-oriented input abstraction the
+// byte-path front ends (internal/xmltok, internal/jsontok) scan through
+// (DESIGN.md §12). A Cursor presents the input as contiguous []byte
+// windows so hot loops advance by vectorized bulk scans
+// (bytes.IndexByte, SSE/AVX-backed in the Go runtime) instead of
+// per-byte reads, with exactly one code path over two backings:
+//
+//   - slice-backed (NewBytes): the window IS the input. No copy ever
+//     happens; subslices stay valid for the life of the run, so
+//     tokenizers may hand out borrowed strings (Borrow) instead of
+//     allocating.
+//   - reader-backed (NewReader): a refillable buffer. Windows are valid
+//     only until the next refill (Fill/Byte/Peek past the window), so
+//     callers copy what they keep.
+//
+// Fixed() distinguishes the two; everything else is identical, which is
+// what keeps the tokenizer/splitter/skip machinery single-pathed.
+//
+// Aliasing contract of the slice backing: the caller must not mutate
+// the input slice while any consumer of the cursor's windows (tokens,
+// chunks, borrowed strings) is live. The engine's public entry points
+// (gcx.ExecuteBytes) scope that to the duration of the call.
+package cursor
+
+import (
+	"bytes"
+	"io"
+	"unsafe"
+)
+
+// DefaultSize is the reader-backed window size. It matches the 64 KiB
+// bufio buffers the front ends historically used.
+const DefaultSize = 64 << 10
+
+// minSize keeps degenerate window sizes (tests use tiny ones to force
+// refill boundaries) from breaking Peek's small-lookahead needs.
+const minSize = 16
+
+// maxEmptyReads bounds spinning on a broken reader that returns (0, nil)
+// forever, mirroring bufio.ErrNoProgress behavior.
+const maxEmptyReads = 100
+
+// Cursor is a window-oriented byte source. The zero value is unusable;
+// construct with NewBytes or NewReader, or embed one and call
+// ResetBytes/ResetReader.
+type Cursor struct {
+	buf  []byte // buf[pos:] is the unread window
+	pos  int
+	base int64 // absolute input offset of buf[0]
+
+	r       io.Reader
+	scratch []byte // reader-mode backing array; nil on the fixed path
+	fixed   bool
+
+	// err is the sticky condition that ends refilling: io.EOF or a read
+	// error. Fixed cursors are born exhausted (err = io.EOF).
+	err error
+	// ioErr records the first non-EOF read error so callers can report
+	// infrastructure failures as themselves rather than syntax errors.
+	ioErr error
+}
+
+// NewBytes returns a slice-backed Cursor serving windows directly from
+// data with no copying. See the package comment for the aliasing
+// contract.
+func NewBytes(data []byte) *Cursor {
+	c := new(Cursor)
+	c.ResetBytes(data)
+	return c
+}
+
+// NewReader returns a reader-backed Cursor with a window of size bytes
+// (≤ 0 uses DefaultSize).
+func NewReader(r io.Reader, size int) *Cursor {
+	c := new(Cursor)
+	c.ResetReader(r, size)
+	return c
+}
+
+// ResetBytes re-arms the cursor over a fixed slice, keeping any
+// reader-mode scratch for later reuse (pooling).
+func (c *Cursor) ResetBytes(data []byte) {
+	c.buf = data
+	c.pos = 0
+	c.base = 0
+	c.r = nil
+	c.fixed = true
+	c.err = io.EOF
+	c.ioErr = nil
+}
+
+// ResetReader re-arms the cursor over a reader, reusing the existing
+// scratch when it is at least the requested size.
+func (c *Cursor) ResetReader(r io.Reader, size int) {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	if size < minSize {
+		size = minSize
+	}
+	if cap(c.scratch) < size {
+		c.scratch = make([]byte, 0, size)
+	}
+	c.buf = c.scratch[:0]
+	c.pos = 0
+	c.base = 0
+	c.r = r
+	c.fixed = false
+	c.err = nil
+	c.ioErr = nil
+}
+
+// Fixed reports whether the cursor is slice-backed: windows (and
+// subslices of them) stay valid for the cursor's whole life, so callers
+// may borrow instead of copy.
+func (c *Cursor) Fixed() bool { return c.fixed }
+
+// Offset is the absolute input offset of the next unread byte.
+func (c *Cursor) Offset() int64 { return c.base + int64(c.pos) }
+
+// IOErr returns the first non-EOF read error encountered, if any.
+func (c *Cursor) IOErr() error { return c.ioErr }
+
+// Window returns the unread buffered bytes. It may be empty; call Fill
+// to refill first. The window is invalidated by the next refill unless
+// Fixed.
+func (c *Cursor) Window() []byte { return c.buf[c.pos:] }
+
+// Advance consumes n bytes of the current window. n must not exceed
+// len(Window()).
+func (c *Cursor) Advance(n int) { c.pos += n }
+
+// Byte returns the next input byte. At end of input it returns the
+// sticky error (io.EOF, or the read error that ended the stream).
+func (c *Cursor) Byte() (byte, error) {
+	if c.pos < len(c.buf) {
+		b := c.buf[c.pos]
+		c.pos++
+		return b, nil
+	}
+	return c.byteSlow()
+}
+
+func (c *Cursor) byteSlow() (byte, error) {
+	if err := c.Fill(); err != nil {
+		return 0, err
+	}
+	b := c.buf[c.pos]
+	c.pos++
+	return b, nil
+}
+
+// Unread steps back over the byte most recently consumed with Byte (or
+// a 1-byte Advance). It is valid for exactly one byte: refills retain
+// one byte of history, so an Unread immediately after a consuming call
+// never falls off the window's front.
+func (c *Cursor) Unread() { c.pos-- }
+
+// Fill ensures the window is non-empty, refilling from the reader when
+// it is exhausted. It returns nil when at least one unread byte is
+// buffered and the sticky error (io.EOF or a read error) otherwise.
+func (c *Cursor) Fill() error {
+	if c.pos < len(c.buf) {
+		return nil
+	}
+	return c.refill(1)
+}
+
+// Peek returns the next n unread bytes without consuming them,
+// refilling as needed. If fewer than n bytes remain it returns the
+// remainder along with the sticky error. n must fit the window size.
+func (c *Cursor) Peek(n int) ([]byte, error) {
+	for len(c.buf)-c.pos < n {
+		if err := c.refill(n); err != nil {
+			return c.buf[c.pos:], err
+		}
+	}
+	return c.buf[c.pos : c.pos+n], nil
+}
+
+// refill makes room and reads more input, guaranteeing on success that
+// the window grew. It retains one byte of consumed history (the Unread
+// contract) plus all unread bytes.
+func (c *Cursor) refill(need int) error {
+	if c.err != nil {
+		return c.err
+	}
+	// Compact: keep one byte of history when any byte was consumed, plus
+	// the unread tail.
+	keep := 0
+	if c.pos > 0 {
+		keep = 1
+	}
+	start := c.pos - keep
+	if start > 0 {
+		n := copy(c.scratch[0:cap(c.scratch)], c.buf[start:])
+		c.base += int64(start)
+		c.buf = c.scratch[:n]
+		c.pos = keep
+	}
+	for i := 0; ; {
+		if len(c.buf) == cap(c.scratch) {
+			// Window full and still short of need: the caller asked for
+			// more lookahead than the window holds.
+			return io.ErrShortBuffer
+		}
+		n, err := c.r.Read(c.scratch[len(c.buf):cap(c.scratch)])
+		c.buf = c.scratch[:len(c.buf)+n]
+		if err != nil {
+			c.err = err
+			if err != io.EOF {
+				c.ioErr = err
+			}
+		}
+		if len(c.buf)-c.pos >= need || (n > 0 && need <= 1) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			if i++; i >= maxEmptyReads {
+				c.err = io.ErrNoProgress
+				c.ioErr = io.ErrNoProgress
+				return c.err
+			}
+		} else {
+			i = 0
+		}
+	}
+}
+
+// SkipPast consumes input through the first occurrence of delim using
+// vectorized window scans, returning the number of bytes consumed
+// (including delim). If the input ends first, every remaining byte is
+// consumed and the sticky error returned.
+func (c *Cursor) SkipPast(delim byte) (int64, error) {
+	var n int64
+	for {
+		if err := c.Fill(); err != nil {
+			return n, err
+		}
+		w := c.buf[c.pos:]
+		if i := bytes.IndexByte(w, delim); i >= 0 {
+			c.pos += i + 1
+			return n + int64(i) + 1, nil
+		}
+		c.pos += len(w)
+		n += int64(len(w))
+	}
+}
+
+// Borrow converts a subslice of a Fixed cursor's window into a string
+// without copying. Safety rests on the package-level aliasing contract:
+// the backing slice is never mutated while borrowed strings are live,
+// so the immutability Go assumes of string memory holds in practice.
+// Never call it with bytes that a refillable window may overwrite.
+func Borrow(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

@@ -1,0 +1,263 @@
+package cursor
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// drain consumes the cursor byte by byte and returns everything read.
+func drain(t *testing.T, c *Cursor) []byte {
+	t.Helper()
+	var out []byte
+	for {
+		b, err := c.Byte()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Byte: %v", err)
+		}
+		out = append(out, b)
+	}
+}
+
+func TestFixedBasics(t *testing.T) {
+	data := []byte("hello")
+	c := NewBytes(data)
+	if !c.Fixed() {
+		t.Fatal("NewBytes cursor not Fixed")
+	}
+	if got := drain(t, c); !bytes.Equal(got, data) {
+		t.Fatalf("drained %q, want %q", got, data)
+	}
+	if c.Offset() != int64(len(data)) {
+		t.Fatalf("Offset = %d, want %d", c.Offset(), len(data))
+	}
+	// EOF is sticky.
+	if _, err := c.Byte(); err != io.EOF {
+		t.Fatalf("Byte at EOF: %v, want io.EOF", err)
+	}
+}
+
+func TestReaderBasics(t *testing.T) {
+	data := []byte("the quick brown fox")
+	for _, size := range []int{0, 16, 17, 1 << 10} {
+		c := NewReader(bytes.NewReader(data), size)
+		if c.Fixed() {
+			t.Fatal("reader cursor reports Fixed")
+		}
+		if got := drain(t, c); !bytes.Equal(got, data) {
+			t.Fatalf("size %d: drained %q, want %q", size, got, data)
+		}
+		if c.Offset() != int64(len(data)) {
+			t.Fatalf("size %d: Offset = %d, want %d", size, c.Offset(), len(data))
+		}
+	}
+}
+
+// TestReaderOneByteReads forces a refill on every byte, exercising the
+// compaction/history machinery as hard as possible.
+func TestReaderOneByteReads(t *testing.T) {
+	data := []byte("<a><b>text</b></a>")
+	c := NewReader(iotest.OneByteReader(bytes.NewReader(data)), 16)
+	if got := drain(t, c); !bytes.Equal(got, data) {
+		t.Fatalf("drained %q, want %q", got, data)
+	}
+}
+
+func TestUnreadAcrossRefill(t *testing.T) {
+	data := []byte("abcdefghijklmnopqrstuvwxyz0123456789")
+	c := NewReader(iotest.OneByteReader(bytes.NewReader(data)), 16)
+	var out []byte
+	for i := 0; ; i++ {
+		b, err := c.Byte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Byte: %v", err)
+		}
+		// Unread and re-read every byte: valid even immediately after a
+		// refill because one byte of history is retained.
+		c.Unread()
+		b2, err := c.Byte()
+		if err != nil || b2 != b {
+			t.Fatalf("reread byte %d: %q %v, want %q", i, b2, err, b)
+		}
+		out = append(out, b)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("drained %q, want %q", out, data)
+	}
+}
+
+func TestOffsetTracksAcrossRefill(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 100)
+	c := NewReader(bytes.NewReader(data), 16)
+	for i := range data {
+		if c.Offset() != int64(i) {
+			t.Fatalf("before byte %d: Offset = %d", i, c.Offset())
+		}
+		if _, err := c.Byte(); err != nil {
+			t.Fatalf("Byte %d: %v", i, err)
+		}
+	}
+	if c.Offset() != int64(len(data)) {
+		t.Fatalf("final Offset = %d", c.Offset())
+	}
+}
+
+func TestWindowAdvance(t *testing.T) {
+	data := []byte("hello world")
+	c := NewBytes(data)
+	if err := c.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	w := c.Window()
+	if !bytes.Equal(w, data) {
+		t.Fatalf("Window = %q", w)
+	}
+	c.Advance(6)
+	if got := c.Window(); string(got) != "world" {
+		t.Fatalf("after Advance: %q", got)
+	}
+	if c.Offset() != 6 {
+		t.Fatalf("Offset = %d", c.Offset())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	data := []byte("0123456789abcdef0123456789")
+	c := NewReader(iotest.OneByteReader(bytes.NewReader(data)), 16)
+	p, err := c.Peek(2)
+	if err != nil || string(p) != "01" {
+		t.Fatalf("Peek(2) = %q, %v", p, err)
+	}
+	// Peek does not consume.
+	if b, _ := c.Byte(); b != '0' {
+		t.Fatalf("Byte after Peek = %q", b)
+	}
+	// Peek near the end returns the remainder with EOF.
+	for i := 0; i < len(data)-2; i++ {
+		if _, err := c.Byte(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = c.Peek(2)
+	if err != io.EOF || string(p) != "9" {
+		t.Fatalf("Peek(2) at tail = %q, %v", p, err)
+	}
+}
+
+func TestSkipPast(t *testing.T) {
+	data := []byte("aaaa<bbbb<cccc")
+	for _, mk := range []func() *Cursor{
+		func() *Cursor { return NewBytes(data) },
+		func() *Cursor { return NewReader(iotest.OneByteReader(bytes.NewReader(data)), 16) },
+	} {
+		c := mk()
+		n, err := c.SkipPast('<')
+		if err != nil || n != 5 {
+			t.Fatalf("SkipPast = %d, %v", n, err)
+		}
+		if b, _ := c.Byte(); b != 'b' {
+			t.Fatalf("after SkipPast: %q", b)
+		}
+		c.Unread()
+		n, err = c.SkipPast('<')
+		if err != nil || n != 5 {
+			t.Fatalf("second SkipPast = %d, %v", n, err)
+		}
+		// Delimiter absent: consume to EOF.
+		n, err = c.SkipPast('<')
+		if err != io.EOF || n != 4 {
+			t.Fatalf("tail SkipPast = %d, %v", n, err)
+		}
+	}
+}
+
+func TestReadError(t *testing.T) {
+	boom := errors.New("boom")
+	c := NewReader(io.MultiReader(strings.NewReader("ab"), iotest.ErrReader(boom)), 16)
+	if b, err := c.Byte(); b != 'a' || err != nil {
+		t.Fatalf("first Byte: %q, %v", b, err)
+	}
+	if b, err := c.Byte(); b != 'b' || err != nil {
+		t.Fatalf("second Byte: %q, %v", b, err)
+	}
+	if _, err := c.Byte(); err != boom {
+		t.Fatalf("Byte after error: %v, want boom", err)
+	}
+	if c.IOErr() != boom {
+		t.Fatalf("IOErr = %v, want boom", c.IOErr())
+	}
+	// Sticky.
+	if _, err := c.Byte(); err != boom {
+		t.Fatalf("sticky error: %v", err)
+	}
+}
+
+func TestNoProgressReader(t *testing.T) {
+	// A reader that returns (0, nil) forever must not hang.
+	c := NewReader(zeroReader{}, 16)
+	if _, err := c.Byte(); err != io.ErrNoProgress {
+		t.Fatalf("Byte = %v, want ErrNoProgress", err)
+	}
+	if c.IOErr() != io.ErrNoProgress {
+		t.Fatalf("IOErr = %v", c.IOErr())
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) { return 0, nil }
+
+func TestResetReuse(t *testing.T) {
+	c := NewReader(strings.NewReader("first"), 64)
+	if got := drain(t, c); string(got) != "first" {
+		t.Fatalf("first drain: %q", got)
+	}
+	c.ResetBytes([]byte("second"))
+	if !c.Fixed() {
+		t.Fatal("ResetBytes did not set Fixed")
+	}
+	if got := drain(t, c); string(got) != "second" {
+		t.Fatalf("second drain: %q", got)
+	}
+	c.ResetReader(strings.NewReader("third"), 64)
+	if c.Fixed() {
+		t.Fatal("ResetReader left Fixed set")
+	}
+	if got := drain(t, c); string(got) != "third" {
+		t.Fatalf("third drain: %q", got)
+	}
+	if c.Offset() != 5 {
+		t.Fatalf("Offset after reset = %d", c.Offset())
+	}
+}
+
+func TestBorrow(t *testing.T) {
+	data := []byte("borrowed")
+	if got := Borrow(data[:0]); got != "" {
+		t.Fatalf("Borrow(empty) = %q", got)
+	}
+	got := Borrow(data[2:6])
+	if got != "rrow" {
+		t.Fatalf("Borrow = %q", got)
+	}
+}
+
+// TestFixedWindowStable pins the zero-copy property: windows of a fixed
+// cursor alias the input slice directly.
+func TestFixedWindowStable(t *testing.T) {
+	data := []byte("stable")
+	c := NewBytes(data)
+	w := c.Window()
+	if &w[0] != &data[0] {
+		t.Fatal("fixed window does not alias input")
+	}
+}

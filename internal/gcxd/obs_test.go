@@ -65,12 +65,14 @@ func TestServerMetrics(t *testing.T) {
 			t.Errorf("exposition lacks TYPE for %s", name)
 		}
 	}
-	// The request histograms carry engine/format/outcome labels and the
-	// cumulative bucket/sum/count series.
+	// The request histograms carry engine/format/outcome/input_path
+	// labels and the cumulative bucket/sum/count series. A small test
+	// body with a known Content-Length rides the zero-copy []byte path,
+	// so input_path is "bytes".
 	for _, want := range []string{
-		`gcx_request_duration_seconds_bucket{engine="gcx",format="auto",outcome="ok",le="+Inf"} 1`,
-		`gcx_request_duration_seconds_count{engine="gcx",format="auto",outcome="ok"} 1`,
-		`gcx_response_size_bytes_count{engine="gcx",format="auto",outcome="ok"} 1`,
+		`gcx_request_duration_seconds_bucket{engine="gcx",format="auto",outcome="ok",input_path="bytes",le="+Inf"} 1`,
+		`gcx_request_duration_seconds_count{engine="gcx",format="auto",outcome="ok",input_path="bytes"} 1`,
+		`gcx_response_size_bytes_count{engine="gcx",format="auto",outcome="ok",input_path="bytes"} 1`,
 	} {
 		if !strings.Contains(expo, want) {
 			t.Errorf("exposition lacks %q", want)

@@ -35,9 +35,21 @@ type Config struct {
 	// it the server sheds load with 503 + Retry-After instead of
 	// queueing without bound. 0 means unlimited.
 	MaxInflight int
+	// BytesBodyLimit routes request bodies with a known Content-Length
+	// at or below this many bytes through the zero-copy []byte engine
+	// path (DESIGN.md §12): the body is buffered once and scanned in
+	// place instead of streamed through the refill cursor. 0 uses
+	// DefaultBytesBodyLimit; negative disables the fast path. Requests
+	// without a Content-Length (chunked uploads) always stream.
+	BytesBodyLimit int64
 	// Logger receives one structured line per request; nil discards.
 	Logger *slog.Logger
 }
+
+// DefaultBytesBodyLimit is the default small-body threshold (1 MiB): a
+// body this size buffers in one allocation that is cheaper than the
+// per-token costs the zero-copy path saves.
+const DefaultBytesBodyLimit = 1 << 20
 
 // Server is the gcxd HTTP handler; it is safe for concurrent use.
 type Server struct {
@@ -50,6 +62,10 @@ type Server struct {
 	// held for the whole execution, so MaxInflight bounds engine
 	// concurrency, not just accept concurrency.
 	inflight chan struct{}
+
+	// bytesBodyLimit is the resolved small-body threshold (-1 when the
+	// bytes fast path is disabled).
+	bytesBodyLimit int64
 
 	requests *obs.Counter
 	errors   *obs.Counter
@@ -146,8 +162,16 @@ func NewServer(cfg Config) *Server {
 		inflightGauge:      r.Gauge("gcx_inflight_requests", "Query requests currently executing.").Key("inflight_requests"),
 		inflightRejections: r.Counter("gcx_inflight_rejections_total", "Requests shed with 503 because -max-inflight was saturated.").Key("inflight_rejections"),
 
-		latency:  r.HistogramVec("gcx_request_duration_seconds", "Query latency by engine, format and outcome.", obs.LatencyBuckets, "engine", "format", "outcome"),
-		respSize: r.HistogramVec("gcx_response_size_bytes", "Query response size by engine, format and outcome.", obs.SizeBuckets, "engine", "format", "outcome"),
+		latency:  r.HistogramVec("gcx_request_duration_seconds", "Query latency by engine, format, outcome and input path.", obs.LatencyBuckets, "engine", "format", "outcome", "input_path"),
+		respSize: r.HistogramVec("gcx_response_size_bytes", "Query response size by engine, format, outcome and input path.", obs.SizeBuckets, "engine", "format", "outcome", "input_path"),
+	}
+	switch {
+	case cfg.BytesBodyLimit < 0:
+		s.bytesBodyLimit = -1
+	case cfg.BytesBodyLimit == 0:
+		s.bytesBodyLimit = DefaultBytesBodyLimit
+	default:
+		s.bytesBodyLimit = cfg.BytesBodyLimit
 	}
 	// Cache metrics read the cache's own counters at collection time.
 	r.GaugeFunc("gcx_cache_entries", "Compiled queries in the LRU cache.", func() int64 {
@@ -341,16 +365,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// outcome/status drive the latency and size histogram labels and the
 	// request log line written on every exit path below.
 	outcome, status := "ok", http.StatusOK
+	inputPath := "stream"
 	var res *gcx.Result
 	cw := &countingWriter{w: w}
 	defer func() {
 		d := time.Since(start)
 		eng, format := engineName(opts.Engine), opts.Format.String()
-		s.latency.With(eng, format, outcome).Observe(d.Seconds())
-		s.respSize.With(eng, format, outcome).Observe(float64(cw.n))
+		s.latency.With(eng, format, outcome, inputPath).Observe(d.Seconds())
+		s.respSize.With(eng, format, outcome, inputPath).Observe(float64(cw.n))
 		attrs := []any{
 			"query", queryHash(src), "engine", eng, "format", format,
-			"shards", opts.Shards, "bytes_out", cw.n,
+			"shards", opts.Shards, "input_path", inputPath, "bytes_out", cw.n,
 			"dur_ms", d.Milliseconds(), "outcome", outcome, "status", status,
 		}
 		if res != nil {
@@ -389,7 +414,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", contentType(opts.Format))
 	w.Header().Set("Trailer", "X-Gcx-Error, X-Gcx-Tokens, X-Gcx-Peak-Nodes, X-Gcx-Peak-Bytes, X-Gcx-Shards, X-Gcx-Bytes-Skipped, X-Gcx-Trace")
-	res, err = q.ExecuteContext(r.Context(), r.Body, cw, opts)
+	if n := r.ContentLength; n >= 0 && s.bytesBodyLimit >= 0 && n <= s.bytesBodyLimit {
+		// Small body with a known length: buffer it once and take the
+		// zero-copy engine path (DESIGN.md §12). The net/http layer
+		// already caps Body at Content-Length, so ReadAll is bounded.
+		body, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			outcome, status = "error", http.StatusBadRequest
+			s.fail(w, status, "reading request body: "+rerr.Error())
+			return
+		}
+		inputPath = "bytes"
+		res, err = q.ExecuteBytesContext(r.Context(), body, cw, opts)
+	} else {
+		res, err = q.ExecuteContext(r.Context(), r.Body, cw, opts)
+	}
 	s.bytesOut.Add(cw.n)
 	if err != nil {
 		s.observePeaks(res) // budget trips still report the partial run's watermark

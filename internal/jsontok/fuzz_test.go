@@ -116,6 +116,65 @@ func FuzzJSONTokenizer(f *testing.F) {
 	})
 }
 
+// FuzzJSONBytesReaderParity is the cursor-parity target for the JSON
+// front end: the slice-backed tokenizer (NewTokenizerBytes, borrowed
+// strings and numbers) and a reader-backed tokenizer over a tiny window
+// must produce identical event streams and identical errors, message
+// and offset both.
+func FuzzJSONBytesReaderParity(f *testing.F) {
+	seeds := []string{
+		`{"a":1}`,
+		`{"a":[1,2,{"b":"x"}],"c":null}`,
+		"{\"a\":1}\n{\"a\":2}\n",
+		`"esc A😀 \\ \" end"`,
+		`{"` + strings.Repeat("k", 17) + `":"` + strings.Repeat("v", 17) + `"}`,
+		`-1.5e+10 true false null`,
+		`[1,`,
+		`{"a"`,
+		"\x00{}",
+	}
+	for _, s := range seeds {
+		f.Add(s, uint8(0))
+		f.Add(s, uint8(5))
+	}
+	f.Fuzz(func(t *testing.T, doc string, sizeSeed uint8) {
+		run := func(tz *Tokenizer) ([]event.Token, error) {
+			defer tz.Release()
+			var toks []event.Token
+			for {
+				tok, err := tz.Next()
+				if err == io.EOF {
+					return toks, nil
+				}
+				if err != nil {
+					return toks, err
+				}
+				toks = append(toks, tok)
+				if len(toks) > 4*len(doc)+16 {
+					t.Fatal("runaway tokenizer")
+				}
+			}
+		}
+		gotB, errB := run(NewTokenizerBytes([]byte(doc)))
+		rd := NewTokenizer(strings.NewReader(doc))
+		rd.cur.ResetReader(strings.NewReader(doc), 16+int(sizeSeed)%48)
+		gotR, errR := run(rd)
+
+		if (errB == nil) != (errR == nil) || (errB != nil && errB.Error() != errR.Error()) {
+			t.Fatalf("error parity: bytes=%v reader=%v\ninput: %q", errB, errR, doc)
+		}
+		if len(gotB) != len(gotR) {
+			t.Fatalf("event counts differ: bytes %d reader %d\ninput: %q", len(gotB), len(gotR), doc)
+		}
+		for i := range gotB {
+			a, b := gotB[i], gotR[i]
+			if a.Kind != b.Kind || a.Name != b.Name || a.Text != b.Text || len(a.Attrs) != len(b.Attrs) {
+				t.Fatalf("event %d: bytes %+v reader %+v\ninput: %q", i, a, b, doc)
+			}
+		}
+	})
+}
+
 // FuzzJSONSkipSubtree pins skip/no-skip parity one-sided: if full
 // tokenization of a record succeeds, skipping that record must succeed
 // and land the stream at the same next event.

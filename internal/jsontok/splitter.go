@@ -1,10 +1,11 @@
 package jsontok
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"io"
+
+	"gcx/internal/cursor"
 )
 
 // DefaultChunkTarget is the default chunk size target in bytes,
@@ -20,8 +21,12 @@ type Chunk struct {
 	Seq int
 	// Records is the number of non-blank lines in the chunk.
 	Records int
-	// Data is the chunk's bytes: the records' lines verbatim, each
-	// newline-terminated.
+	// Data is the chunk's bytes: the records' lines verbatim. On the
+	// reader path each line is newline-terminated and blank lines are
+	// dropped; on the []byte path Data is a zero-copy subslice of the
+	// input, so interior blank lines stay (the tokenizer treats them as
+	// insignificant whitespace) and the final record may lack a trailing
+	// newline.
 	Data []byte
 }
 
@@ -36,18 +41,26 @@ type Chunk struct {
 //
 // Lines are not parsed here; a malformed record surfaces as a syntax
 // error in the worker that tokenizes its chunk, exactly as the
-// sequential run would report it. Blank lines are dropped.
+// sequential run would report it.
 type Splitter struct {
-	r      *bufio.Reader
+	cur    *cursor.Cursor
 	ctx    context.Context
 	target int
 	seq    int
 	done   bool
+	long   []byte // scratch for reader-path lines spanning windows
 }
 
 // NewSplitter returns a Splitter reading NDJSON records from r.
 func NewSplitter(r io.Reader) *Splitter {
-	return &Splitter{r: bufio.NewReaderSize(r, 64<<10), target: DefaultChunkTarget}
+	return &Splitter{cur: cursor.NewReader(r, cursor.DefaultSize), target: DefaultChunkTarget}
+}
+
+// NewSplitterBytes returns a Splitter scanning data in place. Chunk
+// Data values are subslices of data — no copying — so the caller must
+// not mutate data while chunks are being processed.
+func NewSplitterBytes(data []byte) *Splitter {
+	return &Splitter{cur: cursor.NewBytes(data), target: DefaultChunkTarget}
 }
 
 // SetContext attaches a cancellation context, checked between lines.
@@ -60,10 +73,15 @@ func (sp *Splitter) SetTargetBytes(n int) {
 	}
 }
 
-// Next returns the next chunk, or io.EOF after the last one. The
-// returned Data is freshly allocated and owned by the caller — the
-// splitter keeps no reference, so chunks can be processed concurrently.
+// Next returns the next chunk, or io.EOF after the last one. On the
+// reader path Data is freshly allocated and owned by the caller; on the
+// []byte path it is a zero-copy subslice of the input. Either way the
+// splitter keeps no mutable reference, so chunks can be processed
+// concurrently.
 func (sp *Splitter) Next() (Chunk, error) {
+	if sp.cur.Fixed() {
+		return sp.nextBytes()
+	}
 	if sp.done {
 		return Chunk{}, io.EOF
 	}
@@ -99,20 +117,77 @@ func (sp *Splitter) Next() (Chunk, error) {
 	return c, nil
 }
 
-// readLine reads one full line including its trailing newline,
-// growing past the bufio window for oversized records. It returns
-// io.EOF together with the final unterminated line, if any.
-func (sp *Splitter) readLine() ([]byte, error) {
-	var long []byte
+// nextBytes is the []byte fast path: chunk boundaries are found with
+// vectorized newline scans and Data aliases the input — the splitter
+// allocates nothing per chunk.
+func (sp *Splitter) nextBytes() (Chunk, error) {
 	for {
-		part, err := sp.r.ReadSlice('\n')
-		if err == bufio.ErrBufferFull {
-			long = append(long, part...)
+		if sp.done {
+			return Chunk{}, io.EOF
+		}
+		if sp.ctx != nil {
+			if err := sp.ctx.Err(); err != nil {
+				return Chunk{}, err
+			}
+		}
+		w := sp.cur.Window()
+		if len(w) == 0 {
+			sp.done = true
+			return Chunk{}, io.EOF
+		}
+		pos := 0
+		records := 0
+		for pos < len(w) && pos < sp.target {
+			nl := bytes.IndexByte(w[pos:], '\n')
+			var line []byte
+			if nl < 0 {
+				line = w[pos:]
+				pos = len(w)
+			} else {
+				line = w[pos : pos+nl]
+				pos += nl + 1
+			}
+			if len(bytes.TrimSpace(line)) > 0 {
+				records++
+			}
+		}
+		sp.cur.Advance(pos)
+		if pos == len(w) {
+			sp.done = true
+		}
+		if records == 0 {
+			// An all-blank span: nothing to hand out, keep scanning.
 			continue
 		}
-		if long == nil {
-			return part, err
+		c := Chunk{Seq: sp.seq, Records: records, Data: w[:pos]}
+		sp.seq++
+		return c, nil
+	}
+}
+
+// readLine reads one full line including its trailing newline, growing
+// into the sp.long scratch for lines spanning window boundaries. It
+// returns io.EOF together with the final unterminated line, if any.
+// The returned slice is valid only until the next readLine call.
+func (sp *Splitter) readLine() ([]byte, error) {
+	sp.long = sp.long[:0]
+	for {
+		if err := sp.cur.Fill(); err != nil {
+			return sp.long, err
 		}
-		return append(long, part...), err
+		w := sp.cur.Window()
+		nl := bytes.IndexByte(w, '\n')
+		if nl >= 0 {
+			if len(sp.long) == 0 {
+				line := w[:nl+1]
+				sp.cur.Advance(nl + 1)
+				return line, nil
+			}
+			sp.long = append(sp.long, w[:nl+1]...)
+			sp.cur.Advance(nl + 1)
+			return sp.long, nil
+		}
+		sp.long = append(sp.long, w...)
+		sp.cur.Advance(len(w))
 	}
 }

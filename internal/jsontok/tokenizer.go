@@ -29,10 +29,16 @@
 // lazily — the StartElement is delivered before the scalar's bytes are
 // consumed — so skipping a scalar raw-scans its bytes too instead of
 // decoding them first and discarding the result.
+//
+// Input flows through the shared block cursor (internal/cursor,
+// DESIGN.md §12): both io.Reader and []byte inputs run the same
+// window-oriented scanning code, and on the []byte path escape-free
+// strings and number literals borrow subslices of the input instead of
+// allocating.
 package jsontok
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -40,6 +46,7 @@ import (
 	"unicode/utf16"
 	"unicode/utf8"
 
+	"gcx/internal/cursor"
 	"gcx/internal/event"
 )
 
@@ -69,10 +76,10 @@ type frame struct {
 }
 
 // Tokenizer reads a JSON or NDJSON byte stream and produces events one
-// at a time. The zero value is not usable; construct with NewTokenizer.
+// at a time. The zero value is not usable; construct with NewTokenizer
+// or NewTokenizerBytes.
 type Tokenizer struct {
-	r   *bufio.Reader
-	off int64
+	cur cursor.Cursor
 
 	stack   []frame
 	pending [2]event.Token // queued trailing events of a scalar value
@@ -86,10 +93,10 @@ type Tokenizer struct {
 	scalarName    string
 
 	// names interns object keys (→ element names); repeated fields in
-	// large streams share one string allocation.
+	// large streams share one string allocation. Only owned copies are
+	// stored — never borrowed input bytes — because the map outlives the
+	// input across pooled reuses.
 	names map[string]string
-
-	ioErr error
 
 	ctx     context.Context
 	ctxDone <-chan struct{}
@@ -106,20 +113,13 @@ type Tokenizer struct {
 	subtreesSkipped int64
 }
 
-// tokenizerPool recycles Tokenizers — each carries a 64 KiB bufio
-// buffer, a key-interning map and a text scratch buffer.
+// tokenizerPool recycles Tokenizers — each carries a 64 KiB cursor
+// window, a key-interning map and a text scratch buffer.
 var tokenizerPool = sync.Pool{
 	New: func() any {
-		return &Tokenizer{
-			r:     bufio.NewReaderSize(eofReader{}, 64<<10),
-			names: make(map[string]string, 64),
-		}
+		return &Tokenizer{names: make(map[string]string, 64)}
 	},
 }
-
-type eofReader struct{}
-
-func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
 
 // maxInternedNames bounds the interning map carried across pooled
 // reuses; beyond it the map is cleared on the next NewTokenizer.
@@ -130,8 +130,23 @@ const maxInternedNames = 4096
 // back via Release.
 func NewTokenizer(r io.Reader) *Tokenizer {
 	t := tokenizerPool.Get().(*Tokenizer)
-	t.r.Reset(r)
-	t.off = 0
+	t.cur.ResetReader(r, cursor.DefaultSize)
+	t.reset()
+	return t
+}
+
+// NewTokenizerBytes returns a Tokenizer scanning data in place: windows
+// are served directly from the slice, and escape-free strings / number
+// literals borrow subslices of it. The caller must not mutate data
+// until it is done with the tokenizer and every event it produced.
+func NewTokenizerBytes(data []byte) *Tokenizer {
+	t := tokenizerPool.Get().(*Tokenizer)
+	t.cur.ResetBytes(data)
+	t.reset()
+	return t
+}
+
+func (t *Tokenizer) reset() {
 	t.stack = t.stack[:0]
 	t.npend = 0
 	t.ppend = 0
@@ -140,7 +155,6 @@ func NewTokenizer(r io.Reader) *Tokenizer {
 	if len(t.names) > maxInternedNames {
 		clear(t.names)
 	}
-	t.ioErr = nil
 	t.ctx = nil
 	t.ctxDone = nil
 	t.count = 0
@@ -151,7 +165,6 @@ func NewTokenizer(r io.Reader) *Tokenizer {
 	t.bytesSkipped = 0
 	t.tagsSkipped = 0
 	t.subtreesSkipped = 0
-	return t
 }
 
 // SetContext attaches a cancellation context. Next fails with ctx.Err()
@@ -172,7 +185,7 @@ func (t *Tokenizer) Release() {
 		return
 	}
 	t.released = true
-	t.r.Reset(eofReader{})
+	t.cur.ResetBytes(nil) // drop the reader / input-slice reference
 	t.ctx = nil
 	t.ctxDone = nil
 	tokenizerPool.Put(t)
@@ -234,8 +247,8 @@ func (t *Tokenizer) Next() (event.Token, error) {
 		return t.parseScalar(t.scalarName)
 	}
 	if t.done {
-		if t.ioErr != nil {
-			return event.Token{}, t.ioErr
+		if ioErr := t.cur.IOErr(); ioErr != nil {
+			return event.Token{}, ioErr
 		}
 		return event.Token{}, io.EOF
 	}
@@ -248,7 +261,7 @@ func (t *Tokenizer) Next() (event.Token, error) {
 		top := &t.stack[len(t.stack)-1]
 		switch top.kind {
 		case frameStream:
-			b, err := t.skipSpace()
+			_, err := t.skipSpace()
 			if err == io.EOF {
 				t.done = true
 				t.stack = t.stack[:len(t.stack)-1]
@@ -257,7 +270,6 @@ func (t *Tokenizer) Next() (event.Token, error) {
 			if err != nil {
 				return event.Token{}, err
 			}
-			_ = b
 			tok, ok, err := t.beginValue(event.RecordName)
 			if err != nil {
 				return event.Token{}, err
@@ -272,8 +284,7 @@ func (t *Tokenizer) Next() (event.Token, error) {
 				return event.Token{}, t.unexpectedEOF(err, "inside object")
 			}
 			if b == '}' {
-				t.r.Discard(1)
-				t.off++
+				t.cur.Advance(1)
 				name := top.name
 				t.stack = t.stack[:len(t.stack)-1]
 				return t.emit(event.Token{Kind: event.EndElement, Name: name})
@@ -282,8 +293,7 @@ func (t *Tokenizer) Next() (event.Token, error) {
 				if b != ',' {
 					return event.Token{}, t.errf("expected ',' or '}' in object, got %q", b)
 				}
-				t.r.Discard(1)
-				t.off++
+				t.cur.Advance(1)
 				top.needSep = false
 				continue
 			}
@@ -298,8 +308,7 @@ func (t *Tokenizer) Next() (event.Token, error) {
 			if err != nil || b != ':' {
 				return event.Token{}, t.unexpectedSep(err, b, "':' after object key")
 			}
-			t.r.Discard(1)
-			t.off++
+			t.cur.Advance(1)
 			tok, ok, err := t.beginValue(key)
 			if err != nil {
 				return event.Token{}, err
@@ -314,8 +323,7 @@ func (t *Tokenizer) Next() (event.Token, error) {
 				return event.Token{}, t.unexpectedEOF(err, "inside array")
 			}
 			if b == ']' {
-				t.r.Discard(1)
-				t.off++
+				t.cur.Advance(1)
 				t.stack = t.stack[:len(t.stack)-1]
 				continue // arrays emit no event of their own
 			}
@@ -323,8 +331,7 @@ func (t *Tokenizer) Next() (event.Token, error) {
 				if b != ',' {
 					return event.Token{}, t.errf("expected ',' or ']' in array, got %q", b)
 				}
-				t.r.Discard(1)
-				t.off++
+				t.cur.Advance(1)
 				top.needSep = false
 				continue
 			}
@@ -350,7 +357,7 @@ func (t *Tokenizer) Next() (event.Token, error) {
 // keeps deeply nested array input from growing the goroutine stack.
 //
 // Scalar values only have their leading byte classified here; the bytes
-// stay in the reader (scalarPending) so that a SkipSubtree right after
+// stay in the cursor (scalarPending) so that a SkipSubtree right after
 // the StartElement can raw-scan them. A malformed scalar therefore
 // surfaces its syntax error on the Next after the StartElement, not
 // before it.
@@ -362,14 +369,12 @@ func (t *Tokenizer) beginValue(name string) (event.Token, bool, error) {
 	}
 	switch {
 	case b == '{':
-		t.r.Discard(1)
-		t.off++
+		t.cur.Advance(1)
 		t.stack = append(t.stack, frame{kind: frameObject, name: name})
 		tok, err := t.emit(event.Token{Kind: event.StartElement, Name: name})
 		return tok, true, err
 	case b == '[':
-		t.r.Discard(1)
-		t.off++
+		t.cur.Advance(1)
 		t.stack = append(t.stack, frame{kind: frameArray, name: name})
 		return event.Token{}, false, nil
 	case b == '"' || b == 't' || b == 'f' || b == 'n' || b == '-' || (b >= '0' && b <= '9'):
@@ -436,7 +441,7 @@ func (t *Tokenizer) parseScalar(name string) (event.Token, error) {
 func (t *Tokenizer) SkipSubtree() error {
 	t.subtreesSkipped++
 	if t.scalarPending {
-		// Scalar value: its bytes are still in the reader; raw-scan
+		// Scalar value: its bytes are still in the cursor; raw-scan
 		// them without decoding.
 		t.scalarPending = false
 		t.tagsSkipped++ // the unproduced EndElement
@@ -469,18 +474,16 @@ func (t *Tokenizer) SkipSubtree() error {
 
 // rawSkip consumes bytes until the container nesting depth returns to
 // zero from the given starting depth, honoring strings and escapes. It
-// scans the buffered window in place — the hot loop touches each byte
+// scans the cursor window in place — the hot loop touches each byte
 // once and allocates nothing.
 func (t *Tokenizer) rawSkip(depth int) error {
 	inStr := false
 	escaped := false
 	for {
-		if t.r.Buffered() == 0 {
-			if _, err := t.r.Peek(1); err != nil {
-				return t.unexpectedEOF(err, "inside skipped value")
-			}
+		if err := t.cur.Fill(); err != nil {
+			return t.unexpectedEOF(err, "inside skipped value")
 		}
-		buf, _ := t.r.Peek(t.r.Buffered())
+		buf := t.cur.Window()
 		for i := 0; i < len(buf); i++ {
 			c := buf[i]
 			if inStr {
@@ -502,8 +505,7 @@ func (t *Tokenizer) rawSkip(depth int) error {
 			case '}', ']':
 				depth--
 				if depth == 0 {
-					t.r.Discard(i + 1)
-					t.off += int64(i + 1)
+					t.cur.Advance(i + 1)
 					t.bytesSkipped += int64(i + 1)
 					return nil
 				}
@@ -514,8 +516,7 @@ func (t *Tokenizer) rawSkip(depth int) error {
 				t.tagsSkipped++
 			}
 		}
-		t.r.Discard(len(buf))
-		t.off += int64(len(buf))
+		t.cur.Advance(len(buf))
 		t.bytesSkipped += int64(len(buf))
 	}
 }
@@ -530,194 +531,239 @@ func (t *Tokenizer) skipScalar() error {
 		return t.unexpectedEOF(err, "expecting skipped value")
 	}
 	if b == '"' {
-		t.r.Discard(1)
-		t.off++
+		t.cur.Advance(1)
 		t.bytesSkipped++
 		escaped := false
 		for {
-			c, err := t.r.ReadByte()
-			if err != nil {
+			if err := t.cur.Fill(); err != nil {
 				return t.unexpectedEOF(err, "inside skipped string")
 			}
-			t.off++
-			t.bytesSkipped++
-			switch {
-			case escaped:
-				escaped = false
-			case c == '\\':
-				escaped = true
-			case c == '"':
-				return nil
+			w := t.cur.Window()
+			for i := 0; i < len(w); i++ {
+				c := w[i]
+				switch {
+				case escaped:
+					escaped = false
+				case c == '\\':
+					escaped = true
+				case c == '"':
+					t.cur.Advance(i + 1)
+					t.bytesSkipped += int64(i + 1)
+					return nil
+				}
 			}
+			t.cur.Advance(len(w))
+			t.bytesSkipped += int64(len(w))
 		}
 	}
 	// Number or keyword: everything up to a separator, bracket or space.
 	for {
-		c, err := t.r.ReadByte()
+		err := t.cur.Fill()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			t.ioErr = err
 			return err
 		}
-		switch c {
-		case ',', '}', ']', ' ', '\t', '\r', '\n':
-			t.r.UnreadByte()
+		w := t.cur.Window()
+		i := 0
+	scan:
+		for i < len(w) {
+			switch w[i] {
+			case ',', '}', ']', ' ', '\t', '\r', '\n':
+				break scan
+			}
+			i++
+		}
+		t.cur.Advance(i)
+		t.bytesSkipped += int64(i)
+		if i < len(w) {
 			return nil
 		}
-		t.off++
-		t.bytesSkipped++
 	}
 }
 
 // rawSkipToEOF consumes the remaining input at byte level.
 func (t *Tokenizer) rawSkipToEOF() error {
 	for {
-		if t.r.Buffered() == 0 {
-			if _, err := t.r.Peek(1); err != nil {
-				if err == io.EOF {
-					return nil
-				}
-				return err
-			}
+		err := t.cur.Fill()
+		if err == io.EOF {
+			return nil
 		}
-		buf, _ := t.r.Peek(t.r.Buffered())
-		for _, c := range buf {
-			if c == ':' {
-				t.tagsSkipped++
-			}
+		if err != nil {
+			return err
 		}
-		t.r.Discard(len(buf))
-		t.off += int64(len(buf))
+		buf := t.cur.Window()
+		t.tagsSkipped += int64(bytes.Count(buf, sepColon))
+		t.cur.Advance(len(buf))
 		t.bytesSkipped += int64(len(buf))
 	}
 }
+
+var sepColon = []byte{':'}
 
 // skipSpace advances past insignificant whitespace and returns the next
 // byte without consuming it.
 func (t *Tokenizer) skipSpace() (byte, error) {
 	for {
-		b, err := t.r.ReadByte()
-		if err != nil {
-			if err != io.EOF {
-				t.ioErr = err
-			}
+		if err := t.cur.Fill(); err != nil {
 			return 0, err
 		}
-		switch b {
-		case ' ', '\t', '\r', '\n':
-			t.off++
-			continue
+		w := t.cur.Window()
+		i := 0
+		for i < len(w) {
+			switch w[i] {
+			case ' ', '\t', '\r', '\n':
+				i++
+				continue
+			}
+			break
 		}
-		t.r.UnreadByte()
-		return b, nil
+		t.cur.Advance(i)
+		if i < len(w) {
+			return w[i], nil
+		}
 	}
 }
 
 // literal consumes an exact keyword (true/false/null).
 func (t *Tokenizer) literal(lit string) error {
 	for i := 0; i < len(lit); i++ {
-		b, err := t.r.ReadByte()
+		b, err := t.cur.Byte()
 		if err != nil || b != lit[i] {
+			if err == nil {
+				t.cur.Unread()
+			}
 			return t.unexpectedSep(err, b, fmt.Sprintf("literal %q", lit))
 		}
-		t.off++
 	}
 	return nil
 }
 
 // readString consumes a JSON string (the opening quote not yet
-// consumed) and returns its decoded value. Keys are interned.
+// consumed) and returns its decoded value. Keys are interned. The hot
+// loop scans whole windows for the next quote, backslash or control
+// byte; on the []byte path an escape-free string is borrowed from the
+// input (keys hit the intern map without allocating).
 func (t *Tokenizer) readString(intern bool) (string, error) {
-	if b, err := t.r.ReadByte(); err != nil || b != '"' {
+	if b, err := t.cur.Byte(); err != nil || b != '"' {
+		if err == nil {
+			t.cur.Unread()
+		}
 		return "", t.unexpectedSep(err, b, "string")
 	}
-	t.off++
 	buf := t.textBuf[:0]
+	first := true
 	for {
-		b, err := t.r.ReadByte()
-		if err != nil {
+		if err := t.cur.Fill(); err != nil {
 			return "", t.unexpectedEOF(err, "inside string")
 		}
-		t.off++
-		switch {
-		case b == '"':
+		w := t.cur.Window()
+		i := 0
+		for i < len(w) && w[i] != '"' && w[i] != '\\' && w[i] >= 0x20 {
+			i++
+		}
+		if i == len(w) {
+			// Window exhausted mid-segment (reader path): copy, refill.
+			buf = append(buf, w...)
+			t.cur.Advance(len(w))
+			first = false
+			continue
+		}
+		c := w[i]
+		if c == '"' {
+			if first && t.cur.Fixed() {
+				t.cur.Advance(i + 1)
+				seg := w[:i]
+				if intern {
+					return t.internKey(seg), nil
+				}
+				return cursor.Borrow(seg), nil
+			}
+			buf = append(buf, w[:i]...)
+			t.cur.Advance(i + 1)
 			t.textBuf = buf
 			if intern {
-				if s, ok := t.names[string(buf)]; ok {
-					return s, nil
-				}
-				s := string(buf)
-				t.names[s] = s
-				return s, nil
+				return t.internKey(buf), nil
 			}
 			return string(buf), nil
-		case b == '\\':
-			e, err := t.r.ReadByte()
+		}
+		if c < 0x20 {
+			t.cur.Advance(i + 1)
+			return "", t.errf("raw control character 0x%02x in string", c)
+		}
+		// Escape sequence.
+		buf = append(buf, w[:i]...)
+		t.cur.Advance(i + 1) // consume the backslash
+		first = false
+		e, err := t.cur.Byte()
+		if err != nil {
+			return "", t.unexpectedEOF(err, "inside string escape")
+		}
+		switch e {
+		case '"', '\\', '/':
+			buf = append(buf, e)
+		case 'b':
+			buf = append(buf, '\b')
+		case 'f':
+			buf = append(buf, '\f')
+		case 'n':
+			buf = append(buf, '\n')
+		case 'r':
+			buf = append(buf, '\r')
+		case 't':
+			buf = append(buf, '\t')
+		case 'u':
+			r, err := t.readHex4()
 			if err != nil {
-				return "", t.unexpectedEOF(err, "inside string escape")
+				return "", err
 			}
-			t.off++
-			switch e {
-			case '"', '\\', '/':
-				buf = append(buf, e)
-			case 'b':
-				buf = append(buf, '\b')
-			case 'f':
-				buf = append(buf, '\f')
-			case 'n':
-				buf = append(buf, '\n')
-			case 'r':
-				buf = append(buf, '\r')
-			case 't':
-				buf = append(buf, '\t')
-			case 'u':
-				r, err := t.readHex4()
-				if err != nil {
-					return "", err
-				}
-				if utf16.IsSurrogate(rune(r)) {
-					// Try to combine with a following \uXXXX low half.
-					if b2, err2 := t.r.Peek(2); err2 == nil && b2[0] == '\\' && b2[1] == 'u' {
-						t.r.Discard(2)
-						t.off += 2
-						r2, err := t.readHex4()
-						if err != nil {
-							return "", err
-						}
-						if dec := utf16.DecodeRune(rune(r), rune(r2)); dec != utf8.RuneError {
-							buf = utf8.AppendRune(buf, dec)
-							continue
-						}
-						buf = utf8.AppendRune(buf, utf8.RuneError)
-						buf = utf8.AppendRune(buf, utf8.RuneError)
+			if utf16.IsSurrogate(rune(r)) {
+				// Try to combine with a following \uXXXX low half.
+				if b2, err2 := t.cur.Peek(2); err2 == nil && len(b2) == 2 && b2[0] == '\\' && b2[1] == 'u' {
+					t.cur.Advance(2)
+					r2, err := t.readHex4()
+					if err != nil {
+						return "", err
+					}
+					if dec := utf16.DecodeRune(rune(r), rune(r2)); dec != utf8.RuneError {
+						buf = utf8.AppendRune(buf, dec)
 						continue
 					}
 					buf = utf8.AppendRune(buf, utf8.RuneError)
+					buf = utf8.AppendRune(buf, utf8.RuneError)
 					continue
 				}
-				buf = utf8.AppendRune(buf, rune(r))
-			default:
-				return "", t.errf("invalid string escape '\\%c'", e)
+				buf = utf8.AppendRune(buf, utf8.RuneError)
+				continue
 			}
-		case b < 0x20:
-			return "", t.errf("raw control character 0x%02x in string", b)
+			buf = utf8.AppendRune(buf, rune(r))
 		default:
-			buf = append(buf, b)
+			return "", t.errf("invalid string escape '\\%c'", e)
 		}
 	}
+}
+
+// internKey returns the canonical string for an object key. Hits cost a
+// map lookup with no allocation; misses store an owned copy, never
+// borrowed input.
+func (t *Tokenizer) internKey(b []byte) string {
+	if s, ok := t.names[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	t.names[s] = s
+	return s
 }
 
 // readHex4 consumes four hex digits of a \u escape.
 func (t *Tokenizer) readHex4() (uint32, error) {
 	var r uint32
 	for i := 0; i < 4; i++ {
-		b, err := t.r.ReadByte()
+		b, err := t.cur.Byte()
 		if err != nil {
 			return 0, t.unexpectedEOF(err, "inside \\u escape")
 		}
-		t.off++
 		switch {
 		case b >= '0' && b <= '9':
 			r = r<<4 | uint32(b-'0')
@@ -732,26 +778,46 @@ func (t *Tokenizer) readHex4() (uint32, error) {
 	return r, nil
 }
 
+// isNumberByte reports whether b can appear in a JSON number literal.
+func isNumberByte(b byte) bool {
+	return (b >= '0' && b <= '9') || b == '-' || b == '+' || b == '.' || b == 'e' || b == 'E'
+}
+
 // readNumber consumes a JSON number and returns its literal text
-// verbatim, preserving the input's formatting.
+// verbatim, preserving the input's formatting. On the []byte path the
+// literal is borrowed from the input without allocating.
 func (t *Tokenizer) readNumber() (string, error) {
+	if t.cur.Fixed() {
+		w := t.cur.Window()
+		i := 0
+		for i < len(w) && isNumberByte(w[i]) {
+			i++
+		}
+		t.cur.Advance(i)
+		if i == 0 || (i == 1 && w[0] == '-') {
+			return "", t.errf("malformed number")
+		}
+		return cursor.Borrow(w[:i]), nil
+	}
 	buf := t.textBuf[:0]
 	for {
-		b, err := t.r.ReadByte()
+		err := t.cur.Fill()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			t.ioErr = err
 			return "", err
 		}
-		if (b >= '0' && b <= '9') || b == '-' || b == '+' || b == '.' || b == 'e' || b == 'E' {
-			buf = append(buf, b)
-			t.off++
-			continue
+		w := t.cur.Window()
+		i := 0
+		for i < len(w) && isNumberByte(w[i]) {
+			i++
 		}
-		t.r.UnreadByte()
-		break
+		buf = append(buf, w[:i]...)
+		t.cur.Advance(i)
+		if i < len(w) {
+			break
+		}
 	}
 	t.textBuf = buf
 	if len(buf) == 0 || (len(buf) == 1 && buf[0] == '-') {
@@ -761,7 +827,7 @@ func (t *Tokenizer) readNumber() (string, error) {
 }
 
 func (t *Tokenizer) errf(format string, args ...any) error {
-	return &SyntaxError{Offset: t.off, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Offset: t.cur.Offset(), Msg: fmt.Sprintf(format, args...)}
 }
 
 // unexpectedEOF folds an io error into a syntax error for truncated

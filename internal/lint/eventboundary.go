@@ -16,11 +16,14 @@ var tokenizerPkgs = map[string]bool{
 // tokenizerImporters are the packages allowed to touch the tokenizers
 // directly: the event-layer front ends (core), the engines that predate
 // or bypass it by design (dom, baseline), the analyses and splitters
-// that work on raw bytes (analysis, shard, schema), and the tokenizer
-// packages themselves. Everything else must go through
+// that work on raw bytes (analysis, shard, schema), the benchmark
+// harness (gcxbench measures the raw scanning substrate — SkipSubtree
+// and splitter throughput — below the event layer, DESIGN.md §12), and
+// the tokenizer packages themselves. Everything else must go through
 // internal/event sources and sinks (DESIGN.md §8) — that boundary is
 // what lets a new input format plug in without touching the engine.
 var tokenizerImporters = map[string]bool{
+	"gcx/cmd/gcxbench":      true,
 	"gcx/internal/analysis": true,
 	"gcx/internal/baseline": true,
 	"gcx/internal/core":     true,

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// hotPkgs are the byte-path front ends whose hot loops must stay
+// window-oriented: every byte they consume goes through the block
+// cursor (internal/cursor), whose API deliberately names its per-byte
+// calls Byte/Unread so that the bufio idiom is detectable by name.
+var hotPkgs = map[string]bool{
+	"gcx/internal/xmltok":  true,
+	"gcx/internal/jsontok": true,
+}
+
+// bannedByteCalls are the per-byte reader methods that must not appear
+// in the hot packages: their presence means a loop has regressed from
+// vectorized window scanning to byte-at-a-time pulls (the pre-cursor
+// bufio shape this repo measured at a fraction of the window-scan
+// throughput; DESIGN.md §12).
+var bannedByteCalls = map[string]bool{
+	"ReadByte":   true,
+	"UnreadByte": true,
+}
+
+// HotBytes forbids ReadByte/UnreadByte calls in the tokenizer hot
+// paths. Test files are exempt: differential tests legitimately wrap
+// inputs in one-byte readers to force refill boundaries.
+var HotBytes = &Analyzer{
+	Name: "hotbytes",
+	Doc:  "xmltok/jsontok must scan through the block cursor, not per-byte ReadByte/UnreadByte",
+	Run: func(files []*File) []Finding {
+		var out []Finding
+		for _, f := range files {
+			if f.Test || !hotPkgs[f.PkgPath] {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := calleeName(call); bannedByteCalls[name] {
+					out = append(out, Finding{
+						Pos:      f.Fset.Position(call.Pos()),
+						Analyzer: "hotbytes",
+						Message: fmt.Sprintf(
+							"%s call in a byte-path package: scan through the block cursor (Window/Advance/SkipPast, or Byte/Unread for parity-sensitive slow paths) instead of per-byte reads (DESIGN.md §12)",
+							name),
+					})
+				}
+				return true
+			})
+		}
+		return out
+	},
+}

@@ -12,6 +12,10 @@
 //   - obsnames: metric names registered on the obs registry are
 //     gcx_-prefixed snake_case, and the gcxd server packages log through
 //     log/slog only (DESIGN.md §11).
+//   - hotbytes: the byte-path front ends (xmltok, jsontok) never call
+//     ReadByte/UnreadByte — all input flows through the block cursor's
+//     window-oriented API, keeping the hot loops vectorized
+//     (DESIGN.md §12).
 //
 // The framework is deliberately stdlib-only (go/parser + go/ast): the
 // build environment has no module proxy, so golang.org/x/tools is out
@@ -63,7 +67,7 @@ type Analyzer struct {
 }
 
 // All is the registry of passes, in reporting order.
-var All = []*Analyzer{EventBoundary, CtxPoll, ObsNames}
+var All = []*Analyzer{EventBoundary, CtxPoll, ObsNames, HotBytes}
 
 // Lookup resolves a pass by name.
 func Lookup(name string) *Analyzer {

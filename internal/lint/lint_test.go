@@ -107,6 +107,70 @@ func TestObsNamesNotVacuous(t *testing.T) {
 	}
 }
 
+// TestHotBytesFixture: the two seeded per-byte calls fire; the
+// cursor-idiom file, the test file and the out-of-scope package do not.
+func TestHotBytesFixture(t *testing.T) {
+	findings, err := Run("testdata/hotbytes", []*Analyzer{HotBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want the two seeded violations:\n%v", len(findings), findings)
+	}
+	var read, unread int
+	for _, f := range findings {
+		if !strings.Contains(f.Pos.Filename, "xmltok/bad.go") {
+			t.Errorf("finding outside xmltok/bad.go: %v", f)
+		}
+		switch {
+		case strings.Contains(f.Message, "UnreadByte"):
+			unread++
+		case strings.Contains(f.Message, "ReadByte"):
+			read++
+		}
+		if !strings.Contains(f.Message, "block cursor") {
+			t.Errorf("message lacks the remedy: %s", f.Message)
+		}
+	}
+	if read != 1 || unread != 1 {
+		t.Errorf("read = %d, unread = %d, want 1 and 1", read, unread)
+	}
+}
+
+// TestHotBytesNotVacuous: the pass actually walks the real tokenizer
+// packages, and those packages still use the cursor's sanctioned
+// per-byte calls (Byte/Unread) in their slow paths — proving the hot
+// packages are in scope and call-expression matching resolves. If this
+// count drops to zero the scope map or the packages moved and the pass
+// checks nothing.
+func TestHotBytesNotVacuous(t *testing.T) {
+	files, err := Load("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotFiles, cursorCalls := 0, 0
+	for _, f := range files {
+		if f.Test || !hotPkgs[f.PkgPath] {
+			continue
+		}
+		hotFiles++
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name := calleeName(call); name == "Byte" || name == "Unread" || name == "Window" || name == "SkipPast" {
+					cursorCalls++
+				}
+			}
+			return true
+		})
+	}
+	if hotFiles < 6 {
+		t.Fatalf("hotbytes scope covers %d files, want >= 6 (xmltok+jsontok); the scope map has gone vacuous", hotFiles)
+	}
+	if cursorCalls < 20 {
+		t.Fatalf("hotbytes packages make %d cursor calls, want >= 20; the byte path has moved and the pass checks nothing", cursorCalls)
+	}
+}
+
 // TestRepoClean: the real repository satisfies every pass — the
 // invariant `make check` and CI enforce.
 func TestRepoClean(t *testing.T) {
@@ -171,7 +235,7 @@ func TestLoadPkgPaths(t *testing.T) {
 }
 
 func TestLookup(t *testing.T) {
-	if Lookup("eventboundary") != EventBoundary || Lookup("ctxpoll") != CtxPoll || Lookup("obsnames") != ObsNames {
+	if Lookup("eventboundary") != EventBoundary || Lookup("ctxpoll") != CtxPoll || Lookup("obsnames") != ObsNames || Lookup("hotbytes") != HotBytes {
 		t.Error("Lookup does not resolve registered passes")
 	}
 	if Lookup("nope") != nil {

@@ -1,0 +1,15 @@
+// Package other is outside the hotbytes scope: per-byte reads are fine
+// here.
+package other
+
+type reader interface {
+	ReadByte() (byte, error)
+}
+
+func consume(r reader) {
+	for {
+		if _, err := r.ReadByte(); err != nil {
+			return
+		}
+	}
+}

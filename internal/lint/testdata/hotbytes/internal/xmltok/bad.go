@@ -1,0 +1,22 @@
+// Package xmltok (fixture) seeds two hotbytes violations: a per-byte
+// bufio-style pull loop inside a byte-path package. Parse-only — it
+// never builds.
+package xmltok
+
+type reader interface {
+	ReadByte() (byte, error)
+	UnreadByte() error
+}
+
+func consume(r reader) {
+	for {
+		b, err := r.ReadByte() // violation: per-byte pull in a hot package
+		if err != nil {
+			return
+		}
+		if b == '<' {
+			r.UnreadByte() // violation: per-byte unread
+			return
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package xmltok
+
+// Test files are exempt: differential tests wrap inputs in one-byte
+// readers on purpose.
+func testConsume(r reader) {
+	b, _ := r.ReadByte()
+	_ = b
+	_ = r.UnreadByte()
+}

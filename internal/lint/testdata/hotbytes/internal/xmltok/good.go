@@ -1,0 +1,18 @@
+package xmltok
+
+// cursorLike mimics the block-cursor API: window-oriented scanning with
+// the sanctioned per-byte calls for parity-sensitive slow paths.
+type cursorLike interface {
+	Window() []byte
+	Advance(int)
+	Byte() (byte, error)
+	Unread()
+}
+
+func scan(c cursorLike) {
+	w := c.Window()
+	c.Advance(len(w))
+	if b, err := c.Byte(); err == nil && b == '<' {
+		c.Unread()
+	}
+}

@@ -72,6 +72,16 @@ type Preprojector struct {
 	// OnToken, if set, is invoked after every processed token — the
 	// hook used to record the paper's buffer plots.
 	OnToken func()
+
+	// done is the per-token completion scratch, reused across tokens so
+	// completing a role costs no allocation.
+	done completion
+
+	// itemsFree recycles popped frames' items backing arrays for the
+	// next startElement. Descendant-axis items propagate to every child
+	// frame, so without recycling each element start pays one slice
+	// allocation — the dominant allocator on //-axis queries.
+	itemsFree [][]item
 }
 
 // New builds a preprojector for the given role projection paths (role id
@@ -95,8 +105,8 @@ func New(src event.Source, buf *buffer.Buffer, rolePaths []xpath.Path) *Preproje
 		// agree (the root is matched by node() only).
 		p.advance(&root, item{role: role, step: 0, count: 1}, &done)
 	}
-	for role, count := range done.counts {
-		for i := 0; i < count; i++ {
+	for _, role := range done.roles {
+		for i := 0; i < done.counts[role]; i++ {
 			buf.AssignRole(buf.Root, role)
 		}
 	}
@@ -170,17 +180,30 @@ func (p *Preprojector) Run() error {
 	}
 }
 
-// completion accumulates roles completed at the current token.
+// completion accumulates roles completed at the current token. counts
+// is indexed by role id and roles lists the touched ids in completion
+// order, so iteration is deterministic and reset touches only what the
+// token completed — no per-token map allocation.
 type completion struct {
-	roles  []int // repeated per instance
-	counts map[int]int
+	counts []int
+	roles  []int
 }
 
 func (c *completion) add(role, count int) {
-	if c.counts == nil {
-		c.counts = make(map[int]int, 2)
+	if role >= len(c.counts) {
+		c.counts = append(c.counts, make([]int, role+1-len(c.counts))...)
+	}
+	if c.counts[role] == 0 {
+		c.roles = append(c.roles, role)
 	}
 	c.counts[role] += count
+}
+
+func (c *completion) reset() {
+	for _, r := range c.roles {
+		c.counts[r] = 0
+	}
+	c.roles = c.roles[:0]
 }
 
 func (p *Preprojector) startElement(tok event.Token) error {
@@ -195,7 +218,12 @@ func (p *Preprojector) startElement(tok event.Token) error {
 	}
 	parent := &p.stack[len(p.stack)-1]
 	nf := frame{name: tok.Name, attrs: tok.Attrs}
-	var done completion
+	if n := len(p.itemsFree); n > 0 {
+		nf.items = p.itemsFree[n-1]
+		p.itemsFree = p.itemsFree[:n-1]
+	}
+	done := &p.done
+	done.reset()
 
 	for i := range parent.items {
 		it := &parent.items[i]
@@ -209,7 +237,7 @@ func (p *Preprojector) startElement(tok event.Token) error {
 				if step.FirstOnly {
 					*it.used = true
 				}
-				p.advance(&nf, item{role: it.role, step: it.step + 1, count: it.count}, &done)
+				p.advance(&nf, item{role: it.role, step: it.step + 1, count: it.count}, done)
 			}
 		case xpath.Descendant, xpath.DescendantOrSelf:
 			// The self part of descendant-or-self was consumed when the
@@ -224,7 +252,7 @@ func (p *Preprojector) startElement(tok event.Token) error {
 				if step.FirstOnly {
 					*it.used = true
 				}
-				p.advance(&nf, item{role: it.role, step: it.step + 1, count: it.count}, &done)
+				p.advance(&nf, item{role: it.role, step: it.step + 1, count: it.count}, done)
 			}
 		default:
 			// Self axis items are resolved eagerly in advance; Attribute
@@ -232,10 +260,10 @@ func (p *Preprojector) startElement(tok event.Token) error {
 		}
 	}
 
-	if len(done.counts) > 0 {
+	if len(done.roles) > 0 {
 		nf.node = p.materialize(tok.Name, tok.Attrs)
-		for role, count := range done.counts {
-			for i := 0; i < count; i++ {
+		for _, role := range done.roles {
+			for i := 0; i < done.counts[role]; i++ {
 				p.buf.AssignRole(nf.node, role)
 			}
 		}
@@ -295,6 +323,12 @@ func (p *Preprojector) endElement() {
 	if p.dfa != nil {
 		p.dfaStack = p.dfaStack[:len(p.dfaStack)-1]
 	}
+	if top.items != nil {
+		// Frames never share items backing arrays (advance copies item
+		// values), so the popped frame's array can serve the next
+		// startElement.
+		p.itemsFree = append(p.itemsFree, top.items[:0])
+	}
 	if top.node != nil {
 		p.buf.CloseNode(top.node)
 	}
@@ -302,7 +336,8 @@ func (p *Preprojector) endElement() {
 
 func (p *Preprojector) text(tok event.Token) {
 	top := &p.stack[len(p.stack)-1]
-	var done completion
+	done := &p.done
+	done.reset()
 	for i := range top.items {
 		it := &top.items[i]
 		steps := p.steps[it.role]
@@ -324,13 +359,13 @@ func (p *Preprojector) text(tok event.Token) {
 			}
 		}
 	}
-	if len(done.counts) == 0 {
+	if len(done.roles) == 0 {
 		return
 	}
 	parent := p.materializeStack()
 	n := p.buf.AppendText(parent, tok.Text)
-	for role, count := range done.counts {
-		for i := 0; i < count; i++ {
+	for _, role := range done.roles {
+		for i := 0; i < done.counts[role]; i++ {
 			p.buf.AssignRole(n, role)
 		}
 	}

@@ -122,6 +122,20 @@ func joinFragment(info *analysis.ShardInfo, aux []byte) []byte {
 // 2×Workers chunks are in flight between splitter and merge, so memory
 // stays proportional to Workers × chunk size regardless of input size.
 func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, output io.Writer, cfg Config) (*Result, error) {
+	return run(ctx, info, input, nil, output, cfg)
+}
+
+// ExecuteBytes is Execute over an in-memory document: the splitter
+// scans data in place (NDJSON chunks alias it — zero copies on the
+// split side), and workers take the zero-copy engine path. The caller
+// must not mutate data until the call returns.
+func ExecuteBytes(ctx context.Context, info *analysis.ShardInfo, data []byte, output io.Writer, cfg Config) (*Result, error) {
+	return run(ctx, info, nil, data, output, cfg)
+}
+
+// run is the shared sharded-execution body; input is nil on the []byte
+// path.
+func run(ctx context.Context, info *analysis.ShardInfo, input io.Reader, data []byte, output io.Writer, cfg Config) (*Result, error) {
 	start := time.Now()
 	workers := cfg.Workers
 	if workers < 2 {
@@ -153,7 +167,12 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 		if info.Join {
 			return nil, errShardJoinNDJSON
 		}
-		sp := jsontok.NewSplitter(input)
+		var sp *jsontok.Splitter
+		if input == nil {
+			sp = jsontok.NewSplitterBytes(data)
+		} else {
+			sp = jsontok.NewSplitter(input)
+		}
 		sp.SetContext(cctx)
 		sp.SetTargetBytes(cfg.ChunkTargetBytes)
 		nextChunk = func() ([]byte, error) {
@@ -165,7 +184,12 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 		for i, st := range info.PartitionPath.Steps {
 			steps[i] = xmltok.SplitStep{Name: st.Test.Name, Wildcard: st.Test.Kind == xpath.TestWildcard}
 		}
-		sp := xmltok.NewSplitter(input, steps)
+		var sp *xmltok.Splitter
+		if input == nil {
+			sp = xmltok.NewSplitterBytes(data, steps)
+		} else {
+			sp = xmltok.NewSplitter(input, steps)
+		}
 		sp.SetContext(cctx)
 		sp.SetTargetBytes(cfg.ChunkTargetBytes)
 		nextChunk = func() ([]byte, error) {
@@ -260,11 +284,17 @@ func Execute(ctx context.Context, info *analysis.ShardInfo, input io.Reader, out
 			for t := range work {
 				buf := outBufPool.Get().(*bytes.Buffer)
 				buf.Reset()
-				var rd io.Reader = bytes.NewReader(t.data)
-				if t.extra != nil {
-					rd = io.MultiReader(rd, bytes.NewReader(t.extra))
+				var res *core.ExecResult
+				var err error
+				if t.extra == nil {
+					// Chunk bytes are immutable once handed out (fresh
+					// buffers from the reader splitters, input subslices
+					// from the bytes splitters): take the zero-copy path.
+					res, err = core.ExecuteBytesContext(cctx, info.Inner, t.data, buf, cfg.Exec)
+				} else {
+					rd := io.MultiReader(bytes.NewReader(t.data), bytes.NewReader(t.extra))
+					res, err = core.ExecuteContext(cctx, info.Inner, rd, buf, cfg.Exec)
 				}
-				res, err := core.ExecuteContext(cctx, info.Inner, rd, buf, cfg.Exec)
 				t.done <- taskResult{out: buf, res: res, err: err}
 			}
 		}()

@@ -24,6 +24,9 @@ func FuzzSplitter(f *testing.F) {
 		`<a><b></c></a>`,
 		`<a>`,
 		`<b/>`,
+		// Window-boundary corpus (see FuzzTokenizer).
+		`<a><b>` + strings.Repeat("x", 14) + `</b><b/></a>`,
+		`<a><b ` + strings.Repeat("k", 11) + `="v"/></a>`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -114,6 +117,9 @@ func FuzzSkipSubtree(f *testing.F) {
 		`<a><?pi data?><b/></a>`,
 		`<a><b></c></a>`,
 		`<a>`,
+		// Window-boundary corpus (see FuzzTokenizer).
+		`<a><bbbbbbbbbbbbbbbb>x</bbbbbbbbbbbbbbbb></a>`,
+		`<a><b>` + strings.Repeat("t", 15) + `<c/></b></a>`,
 	}
 	for _, s := range seeds {
 		f.Add(s, uint8(0))
@@ -227,6 +233,77 @@ func FuzzSkipSubtree(f *testing.F) {
 	})
 }
 
+// FuzzBytesReaderParity is the cursor-parity target: a slice-backed
+// tokenizer (NewTokenizerBytes, borrowed text, in-window fast paths)
+// and a reader-backed tokenizer over a deliberately tiny window (every
+// construct straddles refill boundaries) must produce identical token
+// streams AND identical errors — message and offset — including across
+// a SkipSubtree at an arbitrary StartElement, which exercises the raw
+// skip scanner's in-window and refill shapes against each other.
+func FuzzBytesReaderParity(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a b="c">x &amp; y</a>`,
+		`<a><b>nested</b><c k="v">t</c></a>`,
+		`<aaaaaaaaaaaaaaaaaaaa>x</aaaaaaaaaaaaaaaaaaaa>`,
+		`<a><![CDATA[` + strings.Repeat("]", 17) + `]]></a>`,
+		`<a q="` + strings.Repeat("v", 12) + `>quoted">t</a>`,
+		`<a>` + strings.Repeat("x", 13) + `&amp;&#x3C;done</a>`,
+		`<a><b></c></a>`,
+		`<a x='1'`,
+		"<a>\xff\xfe</a>",
+	}
+	for _, s := range seeds {
+		f.Add(s, uint8(0), uint8(0), false)
+		f.Add(s, uint8(3), uint8(1), true)
+	}
+	f.Fuzz(func(t *testing.T, doc string, sizeSeed, skipAt uint8, keepWS bool) {
+		run := func(tz *Tokenizer) ([]Token, error) {
+			defer tz.Release()
+			tz.KeepWhitespace = keepWS
+			var toks []Token
+			starts := 0
+			for {
+				tok, err := tz.Next()
+				if err == io.EOF {
+					return toks, nil
+				}
+				if err != nil {
+					return toks, err
+				}
+				toks = append(toks, tok)
+				if len(toks) > len(doc)+16 {
+					t.Fatal("runaway tokenizer")
+				}
+				if tok.Kind == StartElement {
+					if starts == int(skipAt) {
+						if err := tz.SkipSubtree(); err != nil {
+							return toks, err
+						}
+					}
+					starts++
+				}
+			}
+		}
+		gotB, errB := run(NewTokenizerBytes([]byte(doc)))
+		rd := NewTokenizer(strings.NewReader(doc))
+		rd.cur.ResetReader(strings.NewReader(doc), 16+int(sizeSeed)%48)
+		gotR, errR := run(rd)
+
+		if (errB == nil) != (errR == nil) || (errB != nil && errB.Error() != errR.Error()) {
+			t.Fatalf("error parity: bytes=%v reader=%v\ninput: %q skip@%d keepWS=%v", errB, errR, doc, skipAt, keepWS)
+		}
+		if len(gotB) != len(gotR) {
+			t.Fatalf("token counts differ: bytes %d reader %d\ninput: %q skip@%d\nbytes:  %+v\nreader: %+v", len(gotB), len(gotR), doc, skipAt, gotB, gotR)
+		}
+		for i := range gotB {
+			if !sameToken(gotB[i], gotR[i]) {
+				t.Fatalf("token %d: bytes %+v reader %+v\ninput: %q skip@%d", i, gotB[i], gotR[i], doc, skipAt)
+			}
+		}
+	})
+}
+
 func FuzzTokenizer(f *testing.F) {
 	seeds := []string{
 		`<a/>`,
@@ -238,6 +315,13 @@ func FuzzTokenizer(f *testing.F) {
 		`</a>`,
 		"<a>\x00\xff</a>",
 		`<a x='1' x="2"/>`,
+		// Window-boundary corpus: structural characters placed so they
+		// straddle the 16/64-byte refill edges of a small reader window.
+		`<aaaaaaaaaaaaaaaaaaaa>x</aaaaaaaaaaaaaaaaaaaa>`,
+		`<a>` + strings.Repeat("x", 13) + `&amp;&#x3C;done</a>`,
+		`<a><![CDATA[` + strings.Repeat("]", 17) + `]]></a>`,
+		`<a q="` + strings.Repeat("v", 12) + `>quoted">t</a>`,
+		`<!--` + strings.Repeat("-", 15) + `--><a/>`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

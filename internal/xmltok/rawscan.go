@@ -1,10 +1,10 @@
 package xmltok
 
 import (
-	"bufio"
 	"bytes"
 	"fmt"
-	"io"
+
+	"gcx/internal/cursor"
 )
 
 // rawScanner is the shared low-level XML byte scanner behind the
@@ -13,8 +13,10 @@ import (
 // CDATA / PI / declaration terminators (KMP-matched, so
 // repeated-prefix terminators like "]]]>" work), element names — but
 // materializes no tokens, resolves no entities, interns no names and
-// decodes no text. That is what makes a raw scan ~4× faster than full
-// tokenization over the same bytes (DESIGN.md §6, §7).
+// decodes no text. All advancing is window-oriented over the block
+// cursor: structural bytes are found with vectorized bytes.IndexByte /
+// bytes.Index scans, which is what pushes a raw scan past 1 GB/s
+// (DESIGN.md §6, §7, §12).
 //
 // It deliberately accepts a superset of the Tokenizer's dialect
 // (attribute internals and entity references are not validated); users
@@ -22,29 +24,8 @@ import (
 // Tokenizer accepts, and on accepted input both advance over exactly
 // the same bytes. FuzzSplitter and FuzzSkipSubtree pin this.
 type rawScanner struct {
-	r   *bufio.Reader
-	off int64  // byte offset for error reporting
-	tag []byte // scratch for tag bodies spanning buffer boundaries
-
-	// ioErr records a non-EOF read error from the underlying reader, so
-	// errf reports it as itself rather than masking an infrastructure
-	// failure as a syntax error (mirrors Tokenizer.ioErr).
-	ioErr error
-}
-
-func (rs *rawScanner) readByte() (byte, error) {
-	b, err := rs.r.ReadByte()
-	if err == nil {
-		rs.off++
-	} else if err != io.EOF && rs.ioErr == nil {
-		rs.ioErr = err
-	}
-	return b, err
-}
-
-func (rs *rawScanner) unread() {
-	_ = rs.r.UnreadByte()
-	rs.off--
+	cur *cursor.Cursor
+	tag []byte // scratch for tag bodies spanning window boundaries
 }
 
 // throughPattern consumes input through the first occurrence of pat,
@@ -54,9 +35,42 @@ func (rs *rawScanner) throughPattern(pat, opening string, capture *[]byte) error
 	if capture != nil {
 		*capture = append(*capture, opening...)
 	}
+	if rs.cur.Fixed() {
+		w := rs.cur.Window()
+		i := indexPat(w, pat)
+		if i < 0 {
+			rs.cur.Advance(len(w))
+			return rs.errf("unexpected end of input looking for %q", pat)
+		}
+		if capture != nil {
+			*capture = append(*capture, w[:i+len(pat)]...)
+		}
+		rs.cur.Advance(i + len(pat))
+		return nil
+	}
 	matched := 0
 	for matched < len(pat) {
-		b, err := rs.readByte()
+		if matched == 0 {
+			if err := rs.cur.Fill(); err != nil {
+				return rs.errf("unexpected end of input looking for %q", pat)
+			}
+			w := rs.cur.Window()
+			i := bytes.IndexByte(w, pat[0])
+			if i < 0 {
+				if capture != nil {
+					*capture = append(*capture, w...)
+				}
+				rs.cur.Advance(len(w))
+				continue
+			}
+			if capture != nil {
+				*capture = append(*capture, w[:i+1]...)
+			}
+			rs.cur.Advance(i + 1)
+			matched = 1
+			continue
+		}
+		b, err := rs.cur.Byte()
 		if err != nil {
 			return rs.errf("unexpected end of input looking for %q", pat)
 		}
@@ -73,13 +87,13 @@ func (rs *rawScanner) throughPattern(pat, opening string, capture *[]byte) error
 // declarations. Consumed bytes (with their markup openings) are
 // appended to *capture when non-nil.
 func (rs *rawScanner) bang(capture *[]byte) error {
-	b, err := rs.readByte()
+	b, err := rs.cur.Byte()
 	if err != nil {
 		return rs.errf("unexpected end of input after '<!'")
 	}
 	switch b {
 	case '-':
-		b2, err := rs.readByte()
+		b2, err := rs.cur.Byte()
 		if err != nil || b2 != '-' {
 			return rs.errf("malformed comment")
 		}
@@ -87,59 +101,58 @@ func (rs *rawScanner) bang(capture *[]byte) error {
 	case '[':
 		const open = "CDATA["
 		for i := 0; i < len(open); i++ {
-			b2, err := rs.readByte()
+			b2, err := rs.cur.Byte()
 			if err != nil || b2 != open[i] {
 				return rs.errf("malformed CDATA section")
 			}
 		}
 		return rs.throughPattern("]]>", "<![CDATA[", capture)
 	default:
-		rs.unread()
+		rs.cur.Unread()
 		return rs.throughPattern(">", "<!", capture)
 	}
 }
 
 // readTagBody returns the bytes between '<' (already consumed, along
 // with any '/' marker handled by the caller) and the matching unquoted
-// '>', excluding the terminator. In the common case — the whole tag is
-// buffered and carries no quoted '>' — the returned slice aliases the
-// reader's buffer and is valid only until the next read; tags spanning
-// buffer boundaries fall back to the rs.tag scratch.
+// '>', excluding the terminator. In the common case — the whole tag
+// inside the current window with no quoted '>' — the returned slice
+// aliases the window (valid until the next refill; on the []byte path,
+// for the cursor's whole life); tags spanning window boundaries fall
+// back to the rs.tag scratch.
 func (rs *rawScanner) readTagBody() ([]byte, error) {
 	var quote byte
 	first := true
 	for {
-		data, err := rs.r.ReadSlice('>')
-		rs.off += int64(len(data))
-		switch err {
-		case nil:
-			body := data[:len(data)-1]
-			quote = scanQuotes(quote, body)
+		if err := rs.cur.Fill(); err != nil {
+			return nil, rs.errf("unexpected end of input in tag")
+		}
+		w := rs.cur.Window()
+		start := 0
+		for {
+			i := bytes.IndexByte(w[start:], '>')
+			if i < 0 {
+				break
+			}
+			gt := start + i
+			quote = scanQuotes(quote, w[start:gt])
 			if quote == 0 {
+				rs.cur.Advance(gt + 1)
 				if first {
-					return body, nil
+					return w[:gt], nil
 				}
-				rs.tag = append(rs.tag, body...)
+				rs.tag = append(rs.tag, w[:gt]...)
 				return rs.tag, nil
 			}
 			// the '>' was inside an attribute value: keep it, continue
-			if first {
-				rs.tag, first = rs.tag[:0], false
-			}
-			rs.tag = append(rs.tag, body...)
-			rs.tag = append(rs.tag, '>')
-		case bufio.ErrBufferFull:
-			quote = scanQuotes(quote, data)
-			if first {
-				rs.tag, first = rs.tag[:0], false
-			}
-			rs.tag = append(rs.tag, data...)
-		default:
-			if err != io.EOF && rs.ioErr == nil {
-				rs.ioErr = err
-			}
-			return nil, rs.errf("unexpected end of input in tag")
+			start = gt + 1
 		}
+		quote = scanQuotes(quote, w[start:])
+		if first {
+			rs.tag, first = rs.tag[:0], false
+		}
+		rs.tag = append(rs.tag, w...)
+		rs.cur.Advance(len(w))
 	}
 }
 
@@ -197,8 +210,8 @@ func (rs *rawScanner) tagName(body []byte) ([]byte, error) {
 }
 
 func (rs *rawScanner) errf(format string, args ...any) error {
-	if rs.ioErr != nil {
-		return fmt.Errorf("xmltok: read error at byte %d: %w", rs.off, rs.ioErr)
+	if ioErr := rs.cur.IOErr(); ioErr != nil {
+		return fmt.Errorf("xmltok: read error at byte %d: %w", rs.cur.Offset(), ioErr)
 	}
-	return &SyntaxError{Offset: rs.off, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Offset: rs.cur.Offset(), Msg: fmt.Sprintf(format, args...)}
 }

@@ -1,9 +1,7 @@
 package xmltok
 
 import (
-	"bufio"
-	"fmt"
-	"io"
+	"bytes"
 
 	"gcx/internal/event"
 )
@@ -14,7 +12,8 @@ import (
 // consuming that element's matching EndElement. The subtree's bytes
 // are raw-scanned (shared rawScanner machinery, DESIGN.md §7): no
 // Token structs are built, no text is decoded, no entity references
-// are resolved, no names are interned and no whitespace handling runs.
+// are resolved, no names are interned and no whitespace handling runs;
+// character data is consumed by whole-window vectorized scans for '<'.
 // Element nesting inside the skipped region is still tracked, so tag
 // imbalance and truncated input are reported as SyntaxErrors just as
 // full tokenization would report them; attribute internals and entity
@@ -50,8 +49,8 @@ func (t *Tokenizer) SkipSubtree() error {
 		return nil
 	}
 
-	rs := rawScanner{r: t.r, off: t.off, tag: t.skipTag[:0]}
-	startOff := t.off
+	rs := rawScanner{cur: &t.cur, tag: t.skipTag[:0]}
+	startOff := t.cur.Offset()
 	// Nesting accounting for the skipped region: names of elements
 	// opened inside the subtree, stored back to back (no allocations,
 	// no interning). The skipped element itself sits below them on
@@ -64,11 +63,7 @@ func (t *Tokenizer) SkipSubtree() error {
 	t.skipTag = rs.tag[:0]
 	t.skipNameBuf = nameBuf[:0]
 	t.skipNameLen = nameLen[:0]
-	t.off = rs.off
-	if rs.ioErr != nil && t.ioErr == nil {
-		t.ioErr = rs.ioErr
-	}
-	t.bytesSkipped += rs.off - startOff
+	t.bytesSkipped += t.cur.Offset() - startOff
 	if err != nil {
 		return err
 	}
@@ -82,59 +77,211 @@ func (t *Tokenizer) SkipSubtree() error {
 // skipScan is the raw-scan loop of SkipSubtree: consume markup and
 // character data until the end tag matching the innermost open element
 // has been consumed.
+//
+// The loop is organized as a window-local fast path: plain start/end
+// tags lying entirely inside the current window — the overwhelming
+// majority in dense markup — are parsed with direct index arithmetic
+// over one []byte, no cursor round-trips, which is what carries a raw
+// skip past 1 GB/s on the slice backing. Anything irregular (PIs,
+// comments, CDATA, a quoted '>', a tag straddling a refill boundary,
+// a malformed name) syncs the cursor and takes the general
+// per-construct path (skipDispatch), so both shapes produce identical
+// errors at identical offsets.
 func (t *Tokenizer) skipScan(rs *rawScanner, nameBuf *[]byte, nameLen *[]int) error {
+	// The name stacks live in locals so the hot loop keeps their slice
+	// headers in registers; sync writes them back at every point where
+	// the general path (or the caller) observes them.
+	nb, nl := *nameBuf, *nameLen
+	sync := func() { *nameBuf, *nameLen = nb, nl }
 	for {
 		if t.ctxDone != nil {
 			select {
 			case <-t.ctxDone:
+				sync()
 				return t.ctx.Err()
 			default:
 			}
 		}
-		// Character data up to the next '<' is skipped wholesale.
-	text:
-		for {
-			data, err := rs.r.ReadSlice('<')
-			rs.off += int64(len(data))
-			switch err {
-			case nil:
-				break text
-			case bufio.ErrBufferFull:
-				// keep draining
-			case io.EOF:
-				return rs.errf("unexpected end of input inside <%s>", t.skipInnermost(*nameBuf, *nameLen))
-			default:
-				return fmt.Errorf("xmltok: read error at byte %d: %w", rs.off, err)
-			}
+		if err := rs.cur.Fill(); err != nil {
+			// EOF mid-text (or a read error, which errf reports as
+			// itself) while the skipped element is still open.
+			sync()
+			return rs.errf("unexpected end of input inside <%s>", t.skipInnermost(nb, nl))
 		}
-		b, err := rs.readByte()
-		if err != nil {
-			return rs.errf("unexpected end of input in markup")
+		w := rs.cur.Window()
+		// Invariant: the cursor stands at w[0]; pos is the scan point
+		// inside w. The happy path touches no cursor state at all — the
+		// cursor is synced (Advance) only on the exits: slow fallback,
+		// error, done, window exhausted.
+		pos := 0
+		for pos < len(w) {
+			if w[pos] != '<' {
+				// Character data is consumed wholesale by one vectorized
+				// scan, never byte at a time.
+				i := bytes.IndexByte(w[pos:], '<')
+				if i < 0 {
+					pos = len(w)
+					break // text continues past the window: refill
+				}
+				pos += i
+			}
+			tagStart := pos + 1 // just past '<'
+			nameAt := tagStart
+			isEnd := false
+			if tagStart < len(w) && w[tagStart] == '/' {
+				isEnd = true
+				nameAt = tagStart + 1
+				// Fast accept: in well-formed input the end tag is
+				// exactly "</" + the innermost open name + ">", so one
+				// bounded memcmp against the expected name settles it —
+				// no byte classification, no terminator search. Any
+				// disagreement (extra whitespace, mismatch, boundary)
+				// falls through to the careful parse below.
+				if m := len(nl); m > 0 {
+					ln := nl[m-1]
+					if e := nameAt + ln; e < len(w) && w[e] == '>' &&
+						string(nb[len(nb)-ln:]) == string(w[nameAt:e]) {
+						t.tagsSkipped++
+						nb = nb[:len(nb)-ln]
+						nl = nl[:m-1]
+						pos = e + 1
+						continue
+					}
+				} else {
+					top := t.stack[len(t.stack)-1]
+					if e := nameAt + len(top); e < len(w) && w[e] == '>' &&
+						top == string(w[nameAt:e]) {
+						// closes the skipped element itself
+						t.tagsSkipped++
+						rs.cur.Advance(e + 1)
+						sync()
+						return nil
+					}
+				}
+			}
+			n := scanName(w[nameAt:])
+			end := nameAt + n // terminator candidate
+			var body []byte
+			ok := n > 0 && end < len(w)
+			if ok {
+				switch c := w[end]; {
+				case c == '>':
+					body = w[nameAt:end]
+					end++
+				case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+					// Attributes (or trailing junk): the tag runs to the
+					// first '>' not inside an attribute value. An open
+					// quote at that '>' means the real terminator lies
+					// further on — rare enough to punt to the slow path.
+					gt := bytes.IndexByte(w[end:], '>')
+					if gt < 0 || scanQuotes(0, w[end:end+gt]) != 0 {
+						ok = false
+					} else {
+						body = w[nameAt : end+gt]
+						end += gt + 1
+					}
+				case c == '/' && !isEnd && end+1 < len(w) && w[end+1] == '>':
+					body = w[nameAt : end+1] // keep the '/': marks self-closing
+					end += 2
+				default:
+					ok = false
+				}
+			}
+			if !ok {
+				// Irregular construct: hand the cursor to the general
+				// path with the '<' consumed, then resync.
+				rs.cur.Advance(tagStart)
+				sync()
+				done, err := t.skipDispatch(rs, nameBuf, nameLen)
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
+				nb, nl = *nameBuf, *nameLen
+				w, pos = rs.cur.Window(), 0
+				continue
+			}
+			// The whole tag sits inside the window. On error/done exits
+			// the cursor is advanced through the tag first so offsets
+			// match the general path, which reports after the closing
+			// '>'.
+			if isEnd {
+				name := body[:n]
+				if len(body) > n && !allWhitespace(body[n:]) {
+					rs.cur.Advance(end)
+					sync()
+					return rs.errf("malformed end tag </%s", name)
+				}
+				t.tagsSkipped++
+				if m := len(nl); m > 0 {
+					// closes an element opened inside the skip
+					ln := nl[m-1]
+					top := nb[len(nb)-ln:]
+					if string(top) != string(name) {
+						rs.cur.Advance(end)
+						sync()
+						return rs.errf("mismatched </%s>, expected </%s>", name, top)
+					}
+					nb = nb[:len(nb)-ln]
+					nl = nl[:m-1]
+				} else {
+					// closes the skipped element itself
+					rs.cur.Advance(end)
+					sync()
+					top := t.stack[len(t.stack)-1]
+					if top != string(name) {
+						return rs.errf("mismatched </%s>, expected </%s>", name, top)
+					}
+					return nil
+				}
+			} else if body[len(body)-1] == '/' {
+				t.tagsSkipped += 2 // StartElement + synthesized EndElement
+			} else {
+				t.tagsSkipped++
+				nb = append(nb, body[:n]...)
+				nl = append(nl, n)
+			}
+			pos = end
 		}
-		switch b {
-		case '?':
-			if err := rs.throughPattern("?>", "", nil); err != nil {
-				return err
-			}
-		case '!':
-			if err := rs.bang(nil); err != nil {
-				return err
-			}
-		case '/':
-			done, err := t.skipEndTag(rs, nameBuf, nameLen)
-			if err != nil {
-				return err
-			}
-			if done {
-				return nil
-			}
-		default:
-			rs.unread()
-			if err := t.skipStartTag(rs, nameBuf, nameLen); err != nil {
-				return err
-			}
-		}
+		rs.cur.Advance(pos) // consume what the window pass covered
 	}
+}
+
+// skipDispatch consumes one markup construct with the cursor standing
+// just past its '<': the slow-path complement of skipScan's in-window
+// tag parsing. done=true when the construct was the end tag closing the
+// skipped element.
+func (t *Tokenizer) skipDispatch(rs *rawScanner, nameBuf *[]byte, nameLen *[]int) (bool, error) {
+	b, err := rs.cur.Byte()
+	if err != nil {
+		return false, rs.errf("unexpected end of input in markup")
+	}
+	switch b {
+	case '?':
+		return false, rs.throughPattern("?>", "", nil)
+	case '!':
+		return false, rs.bang(nil)
+	case '/':
+		return t.skipEndTag(rs, nameBuf, nameLen)
+	default:
+		rs.cur.Unread()
+		return false, t.skipStartTag(rs, nameBuf, nameLen)
+	}
+}
+
+// scanName returns the length of the XML name prefix of b (0 if b does
+// not start with a name).
+func scanName(b []byte) int {
+	if len(b) == 0 || !nameStartByte[b[0]] {
+		return 0
+	}
+	i := 1
+	for i < len(b) && namePartByte[b[i]] {
+		i++
+	}
+	return i
 }
 
 // skipEndTag consumes one end tag inside the skipped region. It returns

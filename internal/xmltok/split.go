@@ -1,10 +1,11 @@
 package xmltok
 
 import (
-	"bufio"
+	"bytes"
 	"context"
-	"fmt"
 	"io"
+
+	"gcx/internal/cursor"
 )
 
 // Splitter cuts an XML byte stream into self-contained chunks at the
@@ -100,7 +101,23 @@ func NewSplitter(r io.Reader, path []SplitStep) *Splitter {
 		panic("xmltok: NewSplitter requires a non-empty partition path")
 	}
 	return &Splitter{
-		rawScanner: rawScanner{r: bufio.NewReaderSize(r, 64<<10)},
+		rawScanner: rawScanner{cur: cursor.NewReader(r, cursor.DefaultSize)},
+		path:       path,
+		target:     DefaultChunkTarget,
+	}
+}
+
+// NewSplitterBytes returns a Splitter scanning data in place: windows
+// are served directly from the slice, so tag scanning never copies
+// input into the refill buffer. Chunk documents are still built by
+// copying record bytes (chunks are re-wrapped mini-documents consumed
+// concurrently by workers), but the scan itself is zero-copy.
+func NewSplitterBytes(data []byte, path []SplitStep) *Splitter {
+	if len(path) == 0 {
+		panic("xmltok: NewSplitterBytes requires a non-empty partition path")
+	}
+	return &Splitter{
+		rawScanner: rawScanner{cur: cursor.NewBytes(data)},
 		path:       path,
 		target:     DefaultChunkTarget,
 	}
@@ -164,29 +181,32 @@ func (s *Splitter) Next() (Chunk, error) {
 func (s *Splitter) depth() int { return len(s.nameLen) }
 
 // scan consumes character data up to the next markup construct, then
-// the construct itself.
+// the construct itself. Character data advances by whole-window
+// vectorized scans for '<'.
 func (s *Splitter) scan() error {
 	for {
-		data, err := s.r.ReadSlice('<')
-		s.off += int64(len(data))
-		switch err {
-		case nil:
-			if terr := s.text(data[:len(data)-1]); terr != nil {
-				return terr
-			}
-			return s.markup()
-		case bufio.ErrBufferFull:
-			if terr := s.text(data); terr != nil {
-				return terr
-			}
-		case io.EOF:
-			if terr := s.text(data); terr != nil {
-				return terr
-			}
+		err := s.cur.Fill()
+		if err == io.EOF {
 			return s.finish()
-		default:
-			return fmt.Errorf("xmltok: read error at byte %d: %w", s.off, err)
 		}
+		if err != nil {
+			// errf reports a pending read error as itself.
+			return s.errf("read error")
+		}
+		w := s.cur.Window()
+		i := bytes.IndexByte(w, '<')
+		if i < 0 {
+			if terr := s.text(w); terr != nil {
+				return terr
+			}
+			s.cur.Advance(len(w))
+			continue
+		}
+		if terr := s.text(w[:i]); terr != nil {
+			return terr
+		}
+		s.cur.Advance(i + 1)
+		return s.markup()
 	}
 }
 
@@ -255,7 +275,7 @@ func resolvesToWhitespace(b []byte) bool {
 
 // markup dispatches on the construct following '<'.
 func (s *Splitter) markup() error {
-	b, err := s.readByte()
+	b, err := s.cur.Byte()
 	if err != nil {
 		return s.errf("unexpected end of input in markup")
 	}
@@ -267,7 +287,7 @@ func (s *Splitter) markup() error {
 	case '/':
 		return s.endTag()
 	default:
-		s.unread()
+		s.cur.Unread()
 		return s.startTag()
 	}
 }

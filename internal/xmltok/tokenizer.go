@@ -1,37 +1,44 @@
 package xmltok
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"sync"
+
+	"gcx/internal/cursor"
 )
 
 // Tokenizer reads an XML byte stream and produces Tokens one at a time.
 //
-// The zero value is not usable; construct with NewTokenizer. The
-// tokenizer validates well-formedness of the element nesting (tag-name
-// balance) as it goes, so downstream components may assume that an
-// EndElement always matches the innermost open StartElement.
+// The zero value is not usable; construct with NewTokenizer (io.Reader
+// input) or NewTokenizerBytes (zero-copy []byte input). The tokenizer
+// validates well-formedness of the element nesting (tag-name balance)
+// as it goes, so downstream components may assume that an EndElement
+// always matches the innermost open StartElement.
+//
+// Input flows through a block cursor (internal/cursor, DESIGN.md §12):
+// hot loops advance by vectorized window scans rather than per-byte
+// reads, and the same scanning code serves both backings. On the
+// []byte path, text tokens and attribute values borrow subslices of
+// the input instead of allocating; the caller must not mutate the
+// input slice while tokens are in use.
 type Tokenizer struct {
-	r   *bufio.Reader
-	off int64 // byte offset for error reporting
+	cur cursor.Cursor
 
 	// stack of currently open element names.
 	stack []string
 	// names interns element and attribute names so that repeated tags in
-	// large documents share one string allocation.
+	// large documents share one string allocation. Only owned copies are
+	// stored — never borrowed input bytes — because the map outlives the
+	// input across pooled reuses.
 	names map[string]string
 
 	// pending holds a synthesized token (the EndElement of a self-closing
 	// tag) to be returned by the next call to Next.
 	pending *Token
 	peeked  *Token
-
-	// ioErr records a non-EOF read error from the underlying reader, so
-	// it is reported as itself rather than masked as a syntax error.
-	ioErr error
 
 	// ctx, when non-nil, is checked at every token pull; Next returns
 	// ctx.Err() as soon as the context is cancelled, so a streaming run
@@ -63,23 +70,14 @@ type Tokenizer struct {
 	skipNameLen     []int
 }
 
-// tokenizerPool recycles Tokenizers — each carries a 64 KiB bufio
-// buffer, a name-interning map and a text scratch buffer, which dominate
+// tokenizerPool recycles Tokenizers — each carries a 64 KiB cursor
+// window, a name-interning map and a text scratch buffer, which dominate
 // the per-execution allocation cost of short queries over hot streams.
 var tokenizerPool = sync.Pool{
 	New: func() any {
-		return &Tokenizer{
-			r:     bufio.NewReaderSize(eofReader{}, 64<<10),
-			names: make(map[string]string, 64),
-		}
+		return &Tokenizer{names: make(map[string]string, 64)}
 	},
 }
-
-// eofReader is the parked input of a pooled tokenizer, so a released
-// tokenizer holds no reference to its caller's reader.
-type eofReader struct{}
-
-func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
 
 // maxInternedNames bounds the interning map carried across pooled
 // reuses; beyond it the map is cleared on the next NewTokenizer.
@@ -90,15 +88,29 @@ const maxInternedNames = 4096
 // back via Release.
 func NewTokenizer(r io.Reader) *Tokenizer {
 	t := tokenizerPool.Get().(*Tokenizer)
-	t.r.Reset(r)
-	t.off = 0
+	t.cur.ResetReader(r, cursor.DefaultSize)
+	t.reset()
+	return t
+}
+
+// NewTokenizerBytes returns a Tokenizer scanning data in place: windows
+// are served directly from the slice with no copying, and text tokens /
+// attribute values borrow subslices of it. The caller must not mutate
+// data until it is done with the tokenizer and every token it produced.
+func NewTokenizerBytes(data []byte) *Tokenizer {
+	t := tokenizerPool.Get().(*Tokenizer)
+	t.cur.ResetBytes(data)
+	t.reset()
+	return t
+}
+
+func (t *Tokenizer) reset() {
 	t.stack = t.stack[:0]
 	if len(t.names) > maxInternedNames {
 		clear(t.names)
 	}
 	t.pending = nil
 	t.peeked = nil
-	t.ioErr = nil
 	t.ctx = nil
 	t.ctxDone = nil
 	t.KeepWhitespace = false
@@ -111,7 +123,6 @@ func NewTokenizer(r io.Reader) *Tokenizer {
 	t.bytesSkipped = 0
 	t.tagsSkipped = 0
 	t.subtreesSkipped = 0
-	return t
 }
 
 // SetContext attaches a cancellation context. Next fails with ctx.Err()
@@ -132,7 +143,7 @@ func (t *Tokenizer) Release() {
 		return
 	}
 	t.released = true
-	t.r.Reset(eofReader{})
+	t.cur.ResetBytes(nil) // drop the reader / input-slice reference
 	t.ctx = nil
 	t.ctxDone = nil
 	t.pending = nil
@@ -208,7 +219,7 @@ func (t *Tokenizer) read() (Token, error) {
 		return Token{}, io.EOF
 	}
 	for {
-		b, err := t.readByte()
+		err := t.cur.Fill()
 		if err == io.EOF {
 			if len(t.stack) > 0 {
 				return Token{}, t.errf("unexpected end of input inside <%s>", t.stack[len(t.stack)-1])
@@ -219,7 +230,8 @@ func (t *Tokenizer) read() (Token, error) {
 		if err != nil {
 			return Token{}, err
 		}
-		if b == '<' {
+		if t.cur.Window()[0] == '<' {
+			t.cur.Advance(1)
 			tok, skip, err := t.readMarkup()
 			if err != nil {
 				return Token{}, err
@@ -230,7 +242,7 @@ func (t *Tokenizer) read() (Token, error) {
 			return tok, nil
 		}
 		// Character data up to the next '<'.
-		tok, keep, err := t.readText(b)
+		tok, keep, err := t.readText()
 		if err != nil {
 			return Token{}, err
 		}
@@ -243,7 +255,7 @@ func (t *Tokenizer) read() (Token, error) {
 // readMarkup parses markup following '<'. skip is true for ignorable
 // constructs (comments, PIs, declarations).
 func (t *Tokenizer) readMarkup() (tok Token, skip bool, err error) {
-	b, err := t.readByte()
+	b, err := t.cur.Byte()
 	if err != nil {
 		return Token{}, false, t.errf("unexpected end of input in markup")
 	}
@@ -255,20 +267,20 @@ func (t *Tokenizer) readMarkup() (tok Token, skip bool, err error) {
 	case '/':
 		return t.readEndTag()
 	default:
-		t.unread()
+		t.cur.Unread()
 		return t.readStartTag()
 	}
 }
 
 // readBang handles "<!..." constructs: comments, CDATA, DOCTYPE.
 func (t *Tokenizer) readBang() (Token, bool, error) {
-	b, err := t.readByte()
+	b, err := t.cur.Byte()
 	if err != nil {
 		return Token{}, false, t.errf("unexpected end of input after '<!'")
 	}
 	switch b {
 	case '-':
-		if b2, err := t.readByte(); err != nil || b2 != '-' {
+		if b2, err := t.cur.Byte(); err != nil || b2 != '-' {
 			return Token{}, false, t.errf("malformed comment")
 		}
 		return Token{}, true, t.skipUntil("-->")
@@ -276,7 +288,7 @@ func (t *Tokenizer) readBang() (Token, bool, error) {
 		// CDATA section: <![CDATA[ ... ]]>
 		const open = "CDATA["
 		for i := 0; i < len(open); i++ {
-			b2, err := t.readByte()
+			b2, err := t.cur.Byte()
 			if err != nil || b2 != open[i] {
 				return Token{}, false, t.errf("malformed CDATA section")
 			}
@@ -293,7 +305,7 @@ func (t *Tokenizer) readBang() (Token, bool, error) {
 		// DOCTYPE or other declaration: skip to matching '>'. Internal
 		// subsets with nested brackets are not supported (XMark-class
 		// documents do not use them).
-		t.unread()
+		t.cur.Unread()
 		return Token{}, true, t.skipUntil(">")
 	}
 }
@@ -304,7 +316,7 @@ func (t *Tokenizer) readEndTag() (Token, bool, error) {
 		return Token{}, false, err
 	}
 	t.skipSpace()
-	b, err := t.readByte()
+	b, err := t.cur.Byte()
 	if err != nil || b != '>' {
 		return Token{}, false, t.errf("malformed end tag </%s", name)
 	}
@@ -333,7 +345,7 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 	var attrs []Attr
 	for {
 		t.skipSpace()
-		b, err := t.readByte()
+		b, err := t.cur.Byte()
 		if err != nil {
 			return Token{}, false, t.errf("unexpected end of input in <%s>", name)
 		}
@@ -342,7 +354,7 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 			t.stack = append(t.stack, name)
 			return Token{Kind: StartElement, Name: name, Attrs: attrs}, false, nil
 		case '/':
-			b2, err := t.readByte()
+			b2, err := t.cur.Byte()
 			if err != nil || b2 != '>' {
 				return Token{}, false, t.errf("malformed self-closing tag <%s", name)
 			}
@@ -350,7 +362,7 @@ func (t *Tokenizer) readStartTag() (Token, bool, error) {
 			t.pending = &Token{Kind: EndElement, Name: name}
 			return Token{Kind: StartElement, Name: name, Attrs: attrs}, false, nil
 		default:
-			t.unread()
+			t.cur.Unread()
 			a, err := t.readAttr(name)
 			if err != nil {
 				return Token{}, false, err
@@ -366,35 +378,73 @@ func (t *Tokenizer) readAttr(elem string) (Attr, error) {
 		return Attr{}, t.errf("malformed attribute in <%s>", elem)
 	}
 	t.skipSpace()
-	b, err := t.readByte()
+	b, err := t.cur.Byte()
 	if err != nil || b != '=' {
 		return Attr{}, t.errf("attribute %s in <%s> missing '='", name, elem)
 	}
 	t.skipSpace()
-	q, err := t.readByte()
+	q, err := t.cur.Byte()
 	if err != nil || (q != '"' && q != '\'') {
 		return Attr{}, t.errf("attribute %s in <%s> missing quote", name, elem)
 	}
+	val, err := t.readAttrValue(name, q)
+	if err != nil {
+		return Attr{}, err
+	}
+	return Attr{Name: name, Value: val}, nil
+}
+
+// readAttrValue consumes the attribute value through the closing quote
+// q. On the []byte path an entity-free value is borrowed from the input
+// without allocating. Entity references go through readEntity byte by
+// byte on both paths — a reference swallows any quote inside its name
+// (e.g. `&a"b;`), so the borrow fast path only fires when no '&'
+// precedes the first candidate closing quote.
+func (t *Tokenizer) readAttrValue(name string, q byte) (string, error) {
+	if t.cur.Fixed() {
+		w := t.cur.Window()
+		qi := bytes.IndexByte(w, q)
+		if qi < 0 {
+			// Unterminated value — but an '&' before EOF means the
+			// general loop ends inside the entity machinery instead, so
+			// only short-circuit entity-free tails (error parity).
+			if bytes.IndexByte(w, '&') < 0 {
+				t.cur.Advance(len(w))
+				return "", t.errf("unterminated attribute value for %s", name)
+			}
+		} else if bytes.IndexByte(w[:qi], '&') < 0 {
+			t.cur.Advance(qi + 1)
+			return cursor.Borrow(w[:qi]), nil
+		}
+	}
 	t.textBuf = t.textBuf[:0]
 	for {
-		b, err := t.readByte()
-		if err != nil {
-			return Attr{}, t.errf("unterminated attribute value for %s", name)
+		if err := t.cur.Fill(); err != nil {
+			return "", t.errf("unterminated attribute value for %s", name)
 		}
-		if b == q {
-			break
+		w := t.cur.Window()
+		stop := len(w)
+		hitQ := false
+		if i := bytes.IndexByte(w, q); i >= 0 {
+			stop, hitQ = i, true
 		}
-		if b == '&' {
+		if j := bytes.IndexByte(w[:stop], '&'); j >= 0 {
+			t.textBuf = append(t.textBuf, w[:j]...)
+			t.cur.Advance(j + 1)
 			r, err := t.readEntity()
 			if err != nil {
-				return Attr{}, err
+				return "", err
 			}
 			t.textBuf = append(t.textBuf, r...)
 			continue
 		}
-		t.textBuf = append(t.textBuf, b)
+		t.textBuf = append(t.textBuf, w[:stop]...)
+		t.cur.Advance(stop)
+		if hitQ {
+			t.cur.Advance(1)
+			return string(t.textBuf), nil
+		}
 	}
-	return Attr{Name: name, Value: string(t.textBuf)}, nil
 }
 
 // isWSByte reports whether b is literal XML whitespace.
@@ -402,73 +452,80 @@ func isWSByte(b byte) bool {
 	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
 }
 
-// readText accumulates character data starting with first, up to (not
-// including) the next '<'. keep is false when the text is whitespace-only
-// and KeepWhitespace is unset, or when it occurs outside the document
-// element.
-func (t *Tokenizer) readText(first byte) (Token, bool, error) {
+// readText accumulates character data up to (not including) the next
+// '<', scanning whole windows for the structural bytes '<' and '&'.
+// keep is false when the text is whitespace-only and KeepWhitespace is
+// unset, or when it occurs outside the document element. On the []byte
+// path, entity-free text is returned as a borrowed subslice of the
+// input with no copy and no allocation; whitespace-only runs are
+// dropped before any token construction on both paths.
+func (t *Tokenizer) readText() (Token, bool, error) {
 	t.textBuf = t.textBuf[:0]
+	// borrowed holds the single contiguous text segment of the []byte
+	// path (the window spans the whole input there, so entity-free text
+	// is always one segment); it migrates into textBuf if an entity
+	// forces decoding.
+	var borrowed []byte
+	canBorrow := t.cur.Fixed()
 	ws := true
-	cur := first
-	// Fast path: a leading run of literal whitespace — the dominant
-	// text shape in indented documents. A tight byte loop with no
-	// entity machinery; when the run ends at markup or EOF the text is
-	// all-whitespace and (with KeepWhitespace unset) is dropped before
-	// any decoding or token construction.
-	for isWSByte(cur) {
-		t.textBuf = append(t.textBuf, cur)
-		b, err := t.readByte()
+	for {
+		err := t.cur.Fill()
 		if err == io.EOF {
-			return t.textToken(true)
+			break
 		}
 		if err != nil {
 			return Token{}, false, err
 		}
-		if b == '<' {
-			t.unread()
-			return t.textToken(true)
+		w := t.cur.Window()
+		bound := len(w)
+		sawLT := false
+		if i := bytes.IndexByte(w, '<'); i >= 0 {
+			bound, sawLT = i, true
 		}
-		cur = b
-	}
-	// General path: mixed content and entity references.
-	for {
-		if cur == '&' {
+		if j := bytes.IndexByte(w[:bound], '&'); j >= 0 {
+			// Entity reference before the next '<': decode. The reference
+			// is consumed byte by byte (shared with the reader path) and
+			// may legitimately swallow bytes past bound on malformed
+			// names, matching per-byte semantics exactly.
+			seg := w[:j]
+			if ws {
+				ws = allWhitespace(seg)
+			}
+			if borrowed != nil {
+				t.textBuf = append(t.textBuf, borrowed...)
+				borrowed = nil
+			}
+			canBorrow = false
+			t.textBuf = append(t.textBuf, seg...)
+			t.cur.Advance(j + 1)
 			r, err := t.readEntity()
 			if err != nil {
 				return Token{}, false, err
 			}
-			for i := 0; i < len(r); i++ {
-				if ws && !isWSByte(r[i]) {
-					ws = false
-				}
-				t.textBuf = append(t.textBuf, r[i])
-			}
-		} else {
-			if ws && !isWSByte(cur) {
+			if ws && !allWhitespaceString(r) {
 				ws = false
 			}
-			t.textBuf = append(t.textBuf, cur)
+			t.textBuf = append(t.textBuf, r...)
+			continue
 		}
-		b, err := t.readByte()
-		if err == io.EOF {
+		seg := w[:bound]
+		if ws {
+			ws = allWhitespace(seg)
+		}
+		if canBorrow && borrowed == nil && len(t.textBuf) == 0 {
+			borrowed = seg
+		} else {
+			if borrowed != nil {
+				t.textBuf = append(t.textBuf, borrowed...)
+				borrowed = nil
+			}
+			t.textBuf = append(t.textBuf, seg...)
+		}
+		t.cur.Advance(bound)
+		if sawLT {
 			break
 		}
-		if err != nil {
-			return Token{}, false, err
-		}
-		if b == '<' {
-			t.unread()
-			break
-		}
-		cur = b
 	}
-	return t.textToken(ws)
-}
-
-// textToken finalizes accumulated character data: whitespace-only text
-// is dropped (unless KeepWhitespace), text outside the document element
-// is rejected, everything else becomes a Text token.
-func (t *Tokenizer) textToken(ws bool) (Token, bool, error) {
 	if len(t.stack) == 0 {
 		if ws {
 			return Token{}, false, nil
@@ -478,7 +535,19 @@ func (t *Tokenizer) textToken(ws bool) (Token, bool, error) {
 	if ws && !t.KeepWhitespace {
 		return Token{}, false, nil
 	}
+	if borrowed != nil {
+		return Token{Kind: Text, Text: cursor.Borrow(borrowed)}, true, nil
+	}
 	return Token{Kind: Text, Text: string(t.textBuf)}, true, nil
+}
+
+func allWhitespaceString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isWSByte(s[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // readEntity resolves an entity reference after '&' has been consumed.
@@ -489,7 +558,7 @@ func (t *Tokenizer) readEntity() (string, error) {
 	var name [13]byte
 	n := 0
 	for {
-		b, err := t.readByte()
+		b, err := t.cur.Byte()
 		if err != nil {
 			return "", t.errf("unterminated entity reference")
 		}
@@ -579,52 +648,93 @@ func resolveEntityBytes(s []byte) (string, bool) {
 }
 
 // readName reads an XML name (simplified NCName: letters, digits, '.',
-// '-', '_', ':'), interned.
+// '-', '_', ':'), interned. The common case — the whole name inside the
+// current window — is a single bounded scan with a map lookup and no
+// allocation; only names straddling a reader-path refill boundary take
+// the accumulating slow path.
 func (t *Tokenizer) readName() (string, error) {
-	t.textBuf = t.textBuf[:0]
+	if err := t.cur.Fill(); err != nil {
+		return "", t.errf("expected name")
+	}
+	w := t.cur.Window()
+	i := 0
+	for i < len(w) && isNameByte(w[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", t.errf("expected name")
+	}
+	if i < len(w) || t.cur.Fixed() {
+		t.cur.Advance(i)
+		return t.intern(w[:i]), nil
+	}
+	// Name runs to the window edge on the reader path: accumulate.
+	t.textBuf = append(t.textBuf[:0], w[:i]...)
+	t.cur.Advance(i)
 	for {
-		b, err := t.readByte()
+		b, err := t.cur.Byte()
 		if err != nil {
 			break
 		}
-		if isNameByte(b, len(t.textBuf) == 0) {
-			t.textBuf = append(t.textBuf, b)
-			continue
+		if !isNameByte(b, false) {
+			t.cur.Unread()
+			break
 		}
-		t.unread()
-		break
+		t.textBuf = append(t.textBuf, b)
 	}
-	if len(t.textBuf) == 0 {
-		return "", t.errf("expected name")
+	return t.intern(t.textBuf), nil
+}
+
+// intern returns the canonical string for a name. Hits cost a map
+// lookup with no allocation (the compiler elides the string conversion
+// in the lookup); misses store an owned copy, never borrowed input.
+func (t *Tokenizer) intern(b []byte) string {
+	if s, ok := t.names[string(b)]; ok {
+		return s
 	}
-	if s, ok := t.names[string(t.textBuf)]; ok {
-		return s, nil
-	}
-	s := string(t.textBuf)
+	s := string(b)
 	t.names[s] = s
-	return s, nil
+	return s
+}
+
+// nameStartByte/namePartByte classify XML name bytes by table lookup:
+// the raw-skip fast loop touches every name byte, and a 256-entry table
+// beats the branchy range switch there.
+var nameStartByte, namePartByte [256]bool
+
+func init() {
+	for i := 0; i < 256; i++ {
+		b := byte(i)
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+			nameStartByte[i], namePartByte[i] = true, true
+		case b >= '0' && b <= '9', b == '-', b == '.':
+			namePartByte[i] = true
+		case b >= 0x80: // permit multi-byte UTF-8 names without decoding
+			nameStartByte[i], namePartByte[i] = true, true
+		}
+	}
 }
 
 func isNameByte(b byte, first bool) bool {
-	switch {
-	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
-		return true
-	case b >= '0' && b <= '9', b == '-', b == '.':
-		return !first
-	case b >= 0x80: // permit multi-byte UTF-8 names without decoding
-		return true
+	if first {
+		return nameStartByte[b]
 	}
-	return false
+	return namePartByte[b]
 }
 
 func (t *Tokenizer) skipSpace() {
 	for {
-		b, err := t.readByte()
-		if err != nil {
+		if err := t.cur.Fill(); err != nil {
 			return
 		}
-		if b != ' ' && b != '\t' && b != '\n' && b != '\r' {
-			t.unread()
+		w := t.cur.Window()
+		i := 0
+		for i < len(w) && isWSByte(w[i]) {
+			i++
+		}
+		t.cur.Advance(i)
+		if i < len(w) {
 			return
 		}
 	}
@@ -632,31 +742,75 @@ func (t *Tokenizer) skipSpace() {
 
 // skipUntil discards input through the first occurrence of pat.
 func (t *Tokenizer) skipUntil(pat string) error {
-	_, err := t.scanUntil(pat, nil)
-	return err
+	return t.scanUntil(pat, nil)
 }
 
 // readUntil collects input through the first occurrence of pat, excluding
-// the pattern itself.
+// the pattern itself. On the []byte path the content is borrowed.
 func (t *Tokenizer) readUntil(pat string) (string, error) {
+	if t.cur.Fixed() {
+		w := t.cur.Window()
+		i := indexPat(w, pat)
+		if i < 0 {
+			t.cur.Advance(len(w))
+			return "", t.errf("unexpected end of input looking for %q", pat)
+		}
+		t.cur.Advance(i + len(pat))
+		return cursor.Borrow(w[:i]), nil
+	}
 	t.textBuf = t.textBuf[:0]
-	buf := &t.textBuf
-	_, err := t.scanUntil(pat, buf)
-	if err != nil {
+	if err := t.scanUntil(pat, &t.textBuf); err != nil {
 		return "", err
 	}
-	return string(*buf), nil
+	return string(t.textBuf), nil
 }
 
-func (t *Tokenizer) scanUntil(pat string, collect *[]byte) (int, error) {
-	matched := 0
-	n := 0
-	for matched < len(pat) {
-		b, err := t.readByte()
-		if err != nil {
-			return n, t.errf("unexpected end of input looking for %q", pat)
+// scanUntil consumes input through the first occurrence of pat,
+// appending the content (pattern excluded) to *collect when non-nil.
+// The []byte path is a single vectorized bytes.Index; the reader path
+// runs KMP with bytes.IndexByte jumps between candidate positions.
+func (t *Tokenizer) scanUntil(pat string, collect *[]byte) error {
+	if t.cur.Fixed() {
+		w := t.cur.Window()
+		i := indexPat(w, pat)
+		if i < 0 {
+			t.cur.Advance(len(w))
+			return t.errf("unexpected end of input looking for %q", pat)
 		}
-		n++
+		if collect != nil {
+			*collect = append(*collect, w[:i]...)
+		}
+		t.cur.Advance(i + len(pat))
+		return nil
+	}
+	matched := 0
+	for matched < len(pat) {
+		if matched == 0 {
+			// No partial match pending: jump to the next candidate first
+			// byte; everything before it is definitely content.
+			if err := t.cur.Fill(); err != nil {
+				return t.errf("unexpected end of input looking for %q", pat)
+			}
+			w := t.cur.Window()
+			i := bytes.IndexByte(w, pat[0])
+			if i < 0 {
+				if collect != nil {
+					*collect = append(*collect, w...)
+				}
+				t.cur.Advance(len(w))
+				continue
+			}
+			if collect != nil {
+				*collect = append(*collect, w[:i]...)
+			}
+			t.cur.Advance(i + 1)
+			matched = 1
+			continue
+		}
+		b, err := t.cur.Byte()
+		if err != nil {
+			return t.errf("unexpected end of input looking for %q", pat)
+		}
 		prev := matched
 		matched = patAdvance(pat, matched, b)
 		if collect != nil {
@@ -673,7 +827,28 @@ func (t *Tokenizer) scanUntil(pat string, collect *[]byte) (int, error) {
 			}
 		}
 	}
-	return n, nil
+	return nil
+}
+
+// indexPat returns the index of the first occurrence of pat in w, or
+// -1. It is bytes.Index without the string→[]byte conversion (which
+// would allocate): vectorized IndexByte jumps between candidate
+// positions, with an allocation-free comparison at each.
+func indexPat(w []byte, pat string) int {
+	for off := 0; ; {
+		i := bytes.IndexByte(w[off:], pat[0])
+		if i < 0 {
+			return -1
+		}
+		p := off + i
+		if p+len(pat) > len(w) {
+			return -1
+		}
+		if string(w[p:p+len(pat)]) == pat {
+			return p
+		}
+		off = p + 1
+	}
 }
 
 // patAdvance is one step of Knuth-Morris-Pratt matching: given that
@@ -703,24 +878,9 @@ func patOverlap(pat string, m int) int {
 	return 0
 }
 
-func (t *Tokenizer) readByte() (byte, error) {
-	b, err := t.r.ReadByte()
-	if err == nil {
-		t.off++
-	} else if err != io.EOF && t.ioErr == nil {
-		t.ioErr = err
-	}
-	return b, err
-}
-
-func (t *Tokenizer) unread() {
-	_ = t.r.UnreadByte()
-	t.off--
-}
-
 func (t *Tokenizer) errf(format string, args ...any) error {
-	if t.ioErr != nil {
-		return fmt.Errorf("xmltok: read error at byte %d: %w", t.off, t.ioErr)
+	if ioErr := t.cur.IOErr(); ioErr != nil {
+		return fmt.Errorf("xmltok: read error at byte %d: %w", t.cur.Offset(), ioErr)
 	}
-	return &SyntaxError{Offset: t.off, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Offset: t.cur.Offset(), Msg: fmt.Sprintf(format, args...)}
 }
